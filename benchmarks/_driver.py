@@ -1,0 +1,20 @@
+"""Shared helper for artifact-regeneration benchmarks."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, run_experiment
+
+
+def run_artifact(benchmark, report_result, experiment_id: str,
+                 scale: float, seed: int = 0) -> ExperimentResult:
+    """Benchmark one experiment driver and print its result table.
+
+    ``rounds=1``: each driver is a complete experiment (internally averaged
+    over repeats), so the benchmark measures one end-to-end regeneration.
+    """
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, scale=scale, seed=seed),
+        rounds=1, iterations=1)
+    report_result(result)
+    assert result.rows, f"{experiment_id} produced no rows"
+    return result

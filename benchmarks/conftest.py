@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures through the
+same driver the full-scale CLI uses (``python -m repro.experiments run``),
+at a reduced ``scale`` so the whole suite stays minutes, not hours. The
+driver output is printed so ``pytest benchmarks/ --benchmark-only -s``
+doubles as a results report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report_result(request):
+    """Print an ExperimentResult table after the benchmark."""
+
+    def _report(result) -> None:
+        capmanager = request.config.pluginmanager.getplugin("capturemanager")
+        with capmanager.global_and_fixture_disabled():
+            print()
+            print(result.to_text())
+
+    return _report

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 1 (worker-type characterization)."""
+
+from _driver import run_artifact
+
+
+def test_fig01_worker_types(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig01", scale=1.0)
+    by_type: dict[str, list[tuple[float, float]]] = {}
+    for worker_type, spec, sens, _acc in result.rows:
+        by_type.setdefault(worker_type, []).append((spec, sens))
+    # Reliable workers sit top-right; random spammers near (0.5, 0.5).
+    reliable = by_type["reliable"]
+    assert all(s >= 0.7 and p >= 0.7 for p, s in reliable)
+    random_spam = by_type["random_spammer"]
+    assert all(abs(p - 0.5) < 0.25 and abs(s - 0.5) < 0.25
+               for p, s in random_spam)
+    # Uniform spammers hug an axis: sensitivity+specificity ≈ 1.
+    uniform = by_type["uniform_spammer"]
+    assert all(abs((p + s) - 1.0) < 0.2 for p, s in uniform)

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 4 (response time serial vs parallel)."""
+
+from _driver import run_artifact
+
+
+def test_fig04_response_time(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig04", scale=0.4)
+    sizes = [row[0] for row in result.rows]
+    assert sizes == [20, 30, 40, 50]
+    serial = {row[0]: row[1] for row in result.rows}
+    # Response time grows with the object count (paper's shape).
+    assert serial[50] > serial[20]
+    # All measured times positive and sub-minute.
+    assert all(0 < row[1] < 60 and 0 < row[2] < 60 for row in result.rows)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 5 (Separate vs Combined expert integration)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig05_first_class(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig05", scale=0.3)
+    efforts = np.array([row[0] for row in result.rows])
+    separate = np.array([row[1] for row in result.rows])
+    combined = np.array([row[2] for row in result.rows])
+    # Separate dominates Combined on average over the measured range.
+    measured = efforts <= 30.0
+    assert separate[measured].mean() >= combined[measured].mean() - 1e-9
+    # Both improvements are monotone-ish and bounded.
+    assert separate.max() <= 100.0 + 1e-9
+    assert separate[-1] >= separate[0]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 6 (correct-label probability histogram)."""
+
+from _driver import run_artifact
+
+
+def test_fig06_probability_histogram(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig06", scale=1.0)
+    top_bin = result.rows[-1]  # the [0.9, 1.0) bin
+    assert top_bin[0].startswith("[0.9")
+    # More expert input shifts mass into the top bin (the paper's shape).
+    assert top_bin[3] >= top_bin[1]
+    # Histogram columns each sum to ~100 %.
+    for column in (1, 2, 3):
+        total = sum(row[column] for row in result.rows)
+        assert 95.0 <= total <= 100.5

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 7 (i-EM vs batch selection agreement)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig07_iem_agreement(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig07", scale=0.1)
+    datasets = [row[0] for row in result.rows]
+    assert datasets == ["bb", "rte", "val", "twt", "art"]
+    agreements = np.array([row[1:] for row in result.rows], dtype=float)
+    # The paper reports agreement in 'virtually all cases' (80–100 %).
+    assert agreements.mean() >= 60.0
+    assert np.all(agreements <= 100.0)

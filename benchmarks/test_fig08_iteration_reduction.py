@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 8 (EM iteration savings from incrementality)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig08_iteration_reduction(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig08", scale=0.1)
+    savings = np.array([row[1] for row in result.rows])
+    # The paper reports >30 % average savings, growing with effort.
+    assert savings.mean() >= 30.0
+    assert savings.max() <= 100.0

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 9 (spammer detection precision/recall)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig09_spammer_detection(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig09", scale=0.2)
+    by_key = {(row[0], row[1]): (row[2], row[3]) for row in result.rows}
+    # Recall rises with effort at the default threshold.
+    assert by_key[(0.2, 100)][1] >= by_key[(0.2, 20)][1] - 0.05
+    # Threshold trade-off: recall at τ=0.3 ≥ recall at τ=0.1 (full effort),
+    # precision at τ=0.1 ≥ precision at τ=0.3.
+    assert by_key[(0.3, 100)][1] >= by_key[(0.1, 100)][1] - 0.05
+    assert by_key[(0.1, 100)][0] >= by_key[(0.3, 100)][0] - 0.05
+    values = np.array([row[2:] for row in result.rows])
+    assert np.all((values >= 0.0) & (values <= 1.0))

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 10 (hybrid vs baseline on bb, rte, val)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig10_guidance(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig10", scale=0.12)
+    datasets = {row[0] for row in result.rows}
+    assert datasets == {"bb", "rte", "val"}
+    # Over the measured effort range, mean hybrid precision is at least
+    # the baseline's on each dataset (the paper's headline dominance).
+    for name in datasets:
+        rows = [row for row in result.rows if row[0] == name]
+        budget_pct = 100.0 * result.metadata[f"{name}_budget"] / \
+            {"bb": 108, "rte": 800, "val": 100}[name]
+        measured = [row for row in rows if row[1] <= budget_pct + 1e-9]
+        baseline = np.mean([row[2] for row in measured])
+        hybrid = np.mean([row[3] for row in measured])
+        assert hybrid >= baseline - 0.06, (name, hybrid, baseline)

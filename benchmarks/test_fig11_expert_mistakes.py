@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 11 (guidance under expert mistakes, art)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig11_expert_mistakes(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig11", scale=0.15)
+    efforts = np.array([row[0] for row in result.rows])
+    baseline = np.array([row[1] for row in result.rows])
+    hybrid = np.array([row[2] for row in result.rows])
+    budget_pct = 100.0 * result.metadata["budget"] / 200
+    measured = efforts <= budget_pct + 1e-9
+    # Hybrid stays at least on par with the baseline despite mistakes.
+    assert hybrid[measured].mean() >= baseline[measured].mean() - 0.06
+    # Precision improves over the initial value despite a noisy expert.
+    assert hybrid[measured][-1] >= result.metadata["initial_precision"] - 0.02

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 12 (EV vs WO cost trade-off)."""
+
+from _driver import run_artifact
+
+
+def test_fig12_cost_tradeoff(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig12", scale=0.3)
+    strategies = {row[1] for row in result.rows}
+    assert "WO" in strategies
+    assert any(s.startswith("EV(") for s in strategies)
+    # For θ=12.5 the EV curve's best improvement beats WO's best at φ0=13
+    # (the paper's realistic setup).
+    wo_best = max(row[3] for row in result.rows
+                  if row[0] == 13 and row[1] == "WO")
+    ev_best = max(row[3] for row in result.rows
+                  if row[0] == 13 and row[1] == "EV(theta=12.5)")
+    assert ev_best >= wo_best - 5.0

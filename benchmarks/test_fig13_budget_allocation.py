@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 13 (fixed-budget allocation)."""
+
+from _driver import run_artifact
+
+
+def test_fig13_budget_allocation(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig13", scale=0.3)
+    rhos = {row[0] for row in result.rows}
+    assert rhos == {0.3, 0.4, 0.5}
+    for rho in rhos:
+        rows = [row for row in result.rows if row[0] == rho]
+        assert any(row[3] == "optimal" for row in rows)
+        precisions = [row[2] for row in rows]
+        assert all(0.0 <= p <= 1.0 for p in precisions)
+    # Bigger budgets can't hurt: best precision at ρ=0.5 ≥ best at ρ=0.3
+    # (small-sample tolerance).
+    best = {rho: max(row[2] for row in result.rows if row[0] == rho)
+            for rho in rhos}
+    assert best[0.5] >= best[0.3] - 0.1

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 14 (allocation under budget + time)."""
+
+from _driver import run_artifact
+
+
+def test_fig14_time_constraints(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig14", scale=0.3)
+    notes = {row[4] for row in result.rows}
+    assert "A (optimum)" in notes
+    max_validations = result.metadata["max_validations"]
+    for row in result.rows:
+        share, precision, time_proxy, within, note = row
+        assert within == (time_proxy <= max_validations)
+        if note == "A (optimum)":
+            assert within
+    # Expert time falls as the crowd share grows (more budget on answers,
+    # fewer validations) — the descending orange line of Figure 14.
+    times = [row[2] for row in result.rows]
+    assert times[0] >= times[-1]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 16 (question difficulty: twt vs art)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig16_question_difficulty(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig16", scale=0.12)
+    datasets = {row[0] for row in result.rows}
+    assert datasets == {"twt", "art"}
+    # Easy questions (twt) start and stay above hard ones (art).
+    twt = np.array([row[3] for row in result.rows if row[0] == "twt"])
+    art = np.array([row[3] for row in result.rows if row[0] == "art"])
+    assert twt.mean() > art.mean()

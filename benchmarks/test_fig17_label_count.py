@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 17 (effect of label count)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig17_label_count(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig17", scale=0.3)
+    label_counts = {row[0] for row in result.rows}
+    assert label_counts == {2, 4}
+    for m in label_counts:
+        rows = [row for row in result.rows if row[0] == m]
+        hybrid = np.array([row[3] for row in rows])
+        baseline = np.array([row[2] for row in rows])
+        assert hybrid.mean() >= baseline.mean() - 0.06
+    # Four labels make the task easier to aggregate (random hits less
+    # often), so the m=4 initial precision is at least m=2's.
+    assert result.metadata["m4_initial"] >= \
+        result.metadata["m2_initial"] - 0.1

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 18 (effect of worker count)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig18_worker_count(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig18", scale=0.3)
+    worker_counts = {row[0] for row in result.rows}
+    assert worker_counts == {20, 30, 40}
+    for k in worker_counts:
+        rows = [row for row in result.rows if row[0] == k]
+        hybrid = np.array([row[3] for row in rows])
+        baseline = np.array([row[2] for row in rows])
+        assert hybrid.mean() >= baseline.mean() - 0.06
+    # 'Wisdom of the crowd': more workers -> higher initial precision.
+    assert result.metadata["k40_initial"] >= \
+        result.metadata["k20_initial"] - 0.05

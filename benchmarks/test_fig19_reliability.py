@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 19 (effect of worker reliability)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig19_reliability(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig19", scale=0.3)
+    reliabilities = {row[0] for row in result.rows}
+    assert reliabilities == {0.65, 0.70, 0.75}
+    for r in reliabilities:
+        rows = [row for row in result.rows if row[0] == r]
+        hybrid = np.array([row[3] for row in rows])
+        baseline = np.array([row[2] for row in rows])
+        assert hybrid.mean() >= baseline.mean() - 0.06
+    # More reliable crowds start higher.
+    assert result.metadata["r0.75_initial"] >= \
+        result.metadata["r0.65_initial"] - 0.05

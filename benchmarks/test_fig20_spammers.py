@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 20 (effect of the spammer share)."""
+
+import numpy as np
+
+from _driver import run_artifact
+
+
+def test_fig20_spammers(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig20", scale=0.3)
+    shares = {row[0] for row in result.rows}
+    assert shares == {15, 25, 35}
+    for sigma in shares:
+        rows = [row for row in result.rows if row[0] == sigma]
+        hybrid = np.array([row[3] for row in rows])
+        baseline = np.array([row[2] for row in rows])
+        # Robust to spammers: hybrid at least on par at every share.
+        assert hybrid.mean() >= baseline.mean() - 0.06

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 21 (cost trade-off by question difficulty)."""
+
+from _driver import run_artifact
+
+
+def test_fig21_cost_difficulty(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig21", scale=0.2)
+    datasets = {row[0] for row in result.rows}
+    assert datasets == {"twt", "art"}
+    for name in datasets:
+        ev_best = max(row[3] for row in result.rows
+                      if row[0] == name and row[1] == "EV")
+        wo_best = max(row[3] for row in result.rows
+                      if row[0] == name and row[1] == "WO")
+        # EV reaches at least WO's best improvement on both datasets.
+        assert ev_best >= wo_best - 10.0, (name, ev_best, wo_best)

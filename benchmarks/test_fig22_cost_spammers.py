@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 22 (cost trade-off by spammer share)."""
+
+from _driver import run_artifact
+
+
+def test_fig22_cost_spammers(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig22", scale=0.3)
+    shares = {row[0] for row in result.rows}
+    assert shares == {15, 35}
+    for sigma in shares:
+        ev_best = max(row[3] for row in result.rows
+                      if row[0] == sigma and row[1] == "EV")
+        wo_best = max(row[3] for row in result.rows
+                      if row[0] == sigma and row[1] == "WO")
+        assert ev_best >= wo_best - 10.0, (sigma, ev_best, wo_best)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 23 (cost trade-off by worker reliability)."""
+
+from _driver import run_artifact
+
+
+def test_fig23_cost_reliability(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "fig23", scale=0.3)
+    reliabilities = {row[0] for row in result.rows}
+    assert reliabilities == {0.60, 0.65, 0.70}
+    # The paper's striking shape: at r=0.6 the crowd averages below 1/2
+    # accuracy, so WO stalls or collapses while EV recovers.
+    ev_06 = max(row[3] for row in result.rows
+                if row[0] == 0.60 and row[1] == "EV")
+    wo_06_final = [row[3] for row in result.rows
+                   if row[0] == 0.60 and row[1] == "WO"][-1]
+    assert ev_06 >= wo_06_final
+    # At r=0.7 both work, EV at least matching WO's ceiling.
+    ev_07 = max(row[3] for row in result.rows
+                if row[0] == 0.70 and row[1] == "EV")
+    wo_07 = max(row[3] for row in result.rows
+                if row[0] == 0.70 and row[1] == "WO")
+    assert ev_07 >= wo_07 - 0.1

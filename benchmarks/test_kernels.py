@@ -1,0 +1,77 @@
+"""Micro-benchmarks for the hot kernels underlying every experiment.
+
+These time the building blocks — an EM fit, one incremental conclude, one
+information-gain selection, one detection pass — at realistic sizes, so
+performance regressions in the kernels are caught even when the
+artifact-level benches absorb them into longer runs.
+"""
+
+import numpy as np
+
+from repro.core.em import DawidSkeneEM
+from repro.core.iem import IncrementalEM
+from repro.core.validation import ExpertValidation
+from repro.guidance.base import GuidanceContext
+from repro.guidance.information_gain import InformationGainStrategy
+from repro.guidance.worker_driven import WorkerDrivenStrategy
+from repro.simulation.crowd import CrowdConfig, simulate_crowd
+from repro.workers.spammer_detection import SpammerDetector
+
+
+def _crowd(n=200, k=50, answers_per_object=10, seed=0):
+    return simulate_crowd(
+        CrowdConfig(n_objects=n, n_workers=k,
+                    answers_per_object=answers_per_object), rng=seed)
+
+
+def test_batch_em_fit(benchmark):
+    crowd = _crowd()
+    result = benchmark(lambda: DawidSkeneEM().fit(crowd.answer_set))
+    assert result.assignment.shape == (200, 2)
+
+
+def test_incremental_conclude(benchmark):
+    crowd = _crowd()
+    iem = IncrementalEM()
+    validation = ExpertValidation.empty_for(crowd.answer_set)
+    state = iem.conclude(crowd.answer_set, validation)
+    for obj in range(20):
+        validation.assign(obj, int(crowd.gold[obj]))
+    result = benchmark(
+        lambda: iem.conclude(crowd.answer_set, validation, previous=state))
+    assert result.n_em_iterations >= 1
+
+
+def _context(crowd, validated=10):
+    validation = ExpertValidation.empty_for(crowd.answer_set)
+    for obj in range(validated):
+        validation.assign(obj, int(crowd.gold[obj]))
+    aggregator = IncrementalEM()
+    prob_set = aggregator.conclude(crowd.answer_set, validation)
+    return GuidanceContext(prob_set=prob_set, aggregator=aggregator,
+                           detector=SpammerDetector(),
+                           rng=np.random.default_rng(0))
+
+
+def test_information_gain_selection(benchmark):
+    context = _context(_crowd())
+    strategy = InformationGainStrategy(candidate_limit=20)
+    selection = benchmark(lambda: strategy.select(context))
+    assert selection.object_index >= 0
+
+
+def test_worker_driven_selection(benchmark):
+    context = _context(_crowd())
+    strategy = WorkerDrivenStrategy(candidate_limit=20)
+    selection = benchmark(lambda: strategy.select(context))
+    assert selection.object_index >= 0
+
+
+def test_spammer_detection_pass(benchmark):
+    crowd = _crowd()
+    validation = ExpertValidation.empty_for(crowd.answer_set)
+    for obj in range(40):
+        validation.assign(obj, int(crowd.gold[obj]))
+    detector = SpammerDetector()
+    result = benchmark(lambda: detector.detect(crowd.answer_set, validation))
+    assert result.spammer_scores.shape == (50,)

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 1 (the §2 worked example)."""
+
+from _driver import run_artifact
+
+
+def test_tab01_example(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "tab01", scale=1.0)
+    rows = {row[0]: row for row in result.rows}
+    # Majority voting matches the paper's column: right on o1/o2, wrong o4.
+    assert rows["o1"][2] == rows["o1"][1]
+    assert rows["o2"][2] == rows["o2"][1]
+    assert rows["o4"][2] != rows["o4"][1]
+    # After validating o4 the assignment for o4 is correct.
+    assert rows["o4"][4] == rows["o4"][1]

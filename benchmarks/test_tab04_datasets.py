@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 4 (dataset statistics)."""
+
+from _driver import run_artifact
+
+PAPER_SIZES = {
+    "bb": (108, 39), "rte": (800, 164), "val": (100, 38),
+    "twt": (300, 58), "art": (200, 49),
+}
+
+
+def test_tab04_datasets(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "tab04", scale=1.0)
+    for row in result.rows:
+        name, _domain, objects, workers, labels = row[:5]
+        assert (objects, workers) == PAPER_SIZES[name]
+        assert labels == 2
+        assert 0.5 <= row[6] <= 1.0  # EM precision plausible

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 5 (matrix-partitioning start-up time)."""
+
+from _driver import run_artifact
+
+
+def test_tab05_partitioning(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "tab05", scale=0.05)
+    loads = [row[0] for row in result.rows]
+    assert loads == [10, 20, 40, 60]
+    for row in result.rows:
+        _load, time_s, n_blocks, block_density, matrix_density = row
+        assert time_s > 0
+        assert n_blocks >= 1
+        # Partitioning must concentrate answers (the point of Table 5).
+        assert block_density >= matrix_density

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 6 (detected expert mistakes by probability)."""
+
+import math
+
+from _driver import run_artifact
+
+
+def test_tab06_mistake_detection(benchmark, report_result):
+    result = run_artifact(benchmark, report_result, "tab06", scale=0.05)
+    assert [row[0] for row in result.rows] == \
+        ["bb", "rte", "val", "twt", "art"]
+    for row in result.rows:
+        for value in row[1:]:
+            if not math.isnan(value):
+                assert 0.0 <= value <= 100.0
+    # At least half the injected mistakes are caught on average (the paper
+    # reports 79–100 % at full scale).
+    values = [v for row in result.rows for v in row[1:]
+              if not math.isnan(v)]
+    assert values and sum(values) / len(values) >= 50.0

@@ -1,0 +1,70 @@
+"""Planning a crowdsourcing budget: crowd answers vs expert validations.
+
+A campaign owner has a fixed budget and must decide how much of it to
+spend on crowd answers (φ₀ answers per question) versus expert validation
+(θ times costlier per input) under a completion-time constraint — the
+§6.8 scenario. This example sweeps the split, prints the precision/time
+table, and recommends the best feasible allocation.
+
+Run with::
+
+    python examples/budget_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import (
+    allocation_curve,
+    best_allocation,
+    best_allocation_with_time,
+    budget_for_ratio,
+)
+from repro.simulation import CrowdConfig, simulate_crowd
+from repro.workers.types import WorkerType
+
+RHO = 0.4      # budget = rho * theta * n  (40 % of the all-expert cost)
+THETA = 25.0   # one validation costs 25 crowd answers
+MAX_EXPERT_INPUTS = 8   # completion-time constraint
+
+
+def main() -> None:
+    config = CrowdConfig(
+        n_objects=50, n_workers=70, answers_per_object=40,
+        reliability=0.7,
+        population={
+            WorkerType.NORMAL: 0.55,
+            WorkerType.SLOPPY: 0.20,
+            WorkerType.UNIFORM_SPAMMER: 0.125,
+            WorkerType.RANDOM_SPAMMER: 0.125,
+        })
+    crowd = simulate_crowd(config, rng=11)
+    n = crowd.answer_set.n_objects
+    budget = budget_for_ratio(RHO, THETA, n)
+    print(f"Budget: {budget:.0f} answer-units for {n} questions "
+          f"(theta={THETA:g}, rho={RHO})\n")
+
+    points = allocation_curve(
+        crowd, RHO, THETA,
+        shares=(0.25, 0.4, 0.55, 0.7, 0.85, 1.0), rng=11)
+
+    print(f"{'crowd %':>8} | {'answers/q':>9} | {'validations':>11} "
+          f"| {'precision':>9} | {'in time?':>8}")
+    print("-" * 58)
+    for point in points:
+        feasible = point.n_validations <= MAX_EXPERT_INPUTS
+        print(f"{point.crowd_share:8.0%} | {point.phi0:9d} "
+              f"| {point.n_validations:11d} | {point.precision:9.3f} "
+              f"| {'yes' if feasible else 'no':>8}")
+
+    unconstrained = best_allocation(points)
+    constrained = best_allocation_with_time(points, MAX_EXPERT_INPUTS)
+    print(f"\nBest allocation ignoring time: "
+          f"{unconstrained.crowd_share:.0%} crowd "
+          f"(precision {unconstrained.precision:.3f})")
+    print(f"Best allocation within {MAX_EXPERT_INPUTS} expert inputs: "
+          f"{constrained.optimum.crowd_share:.0%} crowd "
+          f"(precision {constrained.optimum.precision:.3f})")
+
+
+if __name__ == "__main__":
+    main()

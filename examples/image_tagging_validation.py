@@ -1,0 +1,62 @@
+"""Image-tagging validation: how much expert effort does guidance save?
+
+The bluebird scenario of the paper's evaluation: 39 workers label 108 bird
+images with one of two species, and a domain expert (an ornithologist)
+validates a fraction of the images. This example compares three guidance
+strategies — random, the max-entropy baseline, and the paper's hybrid —
+and reports the expert effort each needs to push correctness to 95 % and
+to 100 %.
+
+Run with::
+
+    python examples/image_tagging_validation.py
+"""
+
+from __future__ import annotations
+
+from repro.experts.simulated import OracleExpert
+from repro.guidance import (
+    HybridStrategy,
+    InformationGainStrategy,
+    MaxEntropyStrategy,
+    RandomStrategy,
+    WorkerDrivenStrategy,
+)
+from repro.process import PrecisionReached, ValidationProcess
+from repro.simulation import load_dataset
+
+STRATEGIES = {
+    "random": lambda: RandomStrategy(),
+    "max-entropy baseline": lambda: MaxEntropyStrategy(),
+    "hybrid (paper)": lambda: HybridStrategy(
+        uncertainty=InformationGainStrategy(candidate_limit=20),
+        worker=WorkerDrivenStrategy(candidate_limit=20)),
+}
+
+
+def main() -> None:
+    dataset = load_dataset("bb")
+    answers, gold = dataset.answer_set, dataset.gold
+    print(f"Dataset: {dataset.spec.description}")
+    print(f"  {answers.n_objects} images x {answers.n_workers} workers, "
+          f"{answers.n_answers} labels collected\n")
+
+    print(f"{'strategy':>22} | {'initial':>7} | {'to 95%':>7} | {'to 100%':>8}")
+    print("-" * 55)
+    for name, factory in STRATEGIES.items():
+        process = ValidationProcess(
+            answers, OracleExpert(gold), strategy=factory(),
+            goal=PrecisionReached(1.0), budget=answers.n_objects,
+            gold=gold, rng=42)
+        report = process.run()
+        to95 = report.effort_to_reach_precision(0.95)
+        to100 = report.effort_to_reach_precision(1.0)
+        print(f"{name:>22} | {report.initial_precision:7.3f} "
+              f"| {to95:6.1%} | {to100:7.1%}")
+
+    print("\nLower is better: the fraction of images the expert had to")
+    print("validate before the assignment reached the target precision.")
+
+
+if __name__ == "__main__":
+    main()

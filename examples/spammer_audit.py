@@ -1,0 +1,73 @@
+"""Auditing a worker community for spammers with minimal ground truth.
+
+A campaign operator suspects their worker pool is contaminated (the paper
+cites communities with up to 40 % faulty workers). This example simulates
+such a pool, then shows how spammer detection sharpens as an expert
+validates more objects — reporting detection precision/recall and the
+estimated spammer scores per worker type at several effort levels.
+
+Run with::
+
+    python examples/spammer_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.validation import ExpertValidation
+from repro.simulation import CrowdConfig, simulate_crowd
+from repro.workers import SpammerDetector, detection_precision_recall
+from repro.workers.types import WorkerType
+
+
+def main() -> None:
+    config = CrowdConfig(
+        n_objects=80, n_workers=25, reliability=0.7,
+        population={
+            WorkerType.NORMAL: 0.40,
+            WorkerType.SLOPPY: 0.20,
+            WorkerType.UNIFORM_SPAMMER: 0.20,
+            WorkerType.RANDOM_SPAMMER: 0.20,
+        })
+    crowd = simulate_crowd(config, rng=7)
+    answers = crowd.answer_set
+    rng = np.random.default_rng(7)
+    order = rng.permutation(answers.n_objects)
+    detector = SpammerDetector(tau_s=0.2, tau_p=0.8)
+
+    n_spammers = int(crowd.spammer_mask.sum())
+    print(f"Community: {answers.n_workers} workers, "
+          f"{n_spammers} true spammers "
+          f"({n_spammers / answers.n_workers:.0%})\n")
+    print(f"{'effort':>7} | {'flagged':>7} | {'precision':>9} | {'recall':>6}")
+    print("-" * 40)
+    for effort in (0.1, 0.25, 0.5, 0.75, 1.0):
+        validated = order[:int(effort * answers.n_objects)]
+        validation = ExpertValidation.from_mapping(
+            {int(o): int(crowd.gold[o]) for o in validated},
+            answers.n_objects, answers.n_labels)
+        result = detector.detect(answers, validation)
+        precision, recall = detection_precision_recall(
+            result.spammer_mask, crowd.spammer_mask)
+        print(f"{effort:7.0%} | {result.spammer_mask.sum():7d} "
+              f"| {precision:9.2f} | {recall:6.2f}")
+
+    # Full-evidence score profile per worker type.
+    validation = ExpertValidation.from_mapping(
+        {i: int(label) for i, label in enumerate(crowd.gold)},
+        answers.n_objects, answers.n_labels)
+    result = detector.detect(answers, validation)
+    print("\nSpammer score s(w) by true worker type (full validation):")
+    for worker_type in WorkerType:
+        scores = [result.spammer_scores[w]
+                  for w in range(answers.n_workers)
+                  if crowd.worker_types[w] is worker_type]
+        if scores:
+            print(f"  {worker_type.value:>16}: "
+                  f"mean {np.mean(scores):.3f}  "
+                  f"(flagged if < {detector.tau_s})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``. This file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+bundled PEP 660 support (editable installs without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

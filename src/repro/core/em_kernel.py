@@ -1,0 +1,256 @@
+"""Vectorized expectation-maximization kernel (paper §4.1, Eq. 1–5).
+
+Both the traditional batch EM baseline (:mod:`repro.core.em`) and the
+incremental i-EM (:mod:`repro.core.iem`) are thin policies over this kernel;
+they differ only in how the first estimate is produced (random/majority
+initialization vs. warm start from the previous probabilistic answer set)
+and in whether expert validations are clamped as ground truth.
+
+Implementation notes
+--------------------
+* Answers are flattened into three parallel index arrays (object, worker,
+  label), so an E-step is a single ``np.add.at`` scatter of per-answer
+  log-likelihood rows and an M-step is one scatter into per-worker count
+  matrices. Complexity per iteration is ``O(A·m)`` for ``A`` answers.
+* All likelihood products run in log space with probability flooring, so
+  degenerate confusion rows never produce NaNs.
+* Objects with an expert validation are clamped to a one-hot row after
+  every E-step (Eq. 4) and therefore act as ground truth in the following
+  M-step — this is what makes expert input a "first-class citizen".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.answer_set import MISSING, AnswerSet
+from repro.core.confusion import PROB_FLOOR, normalize_rows
+
+#: Default Laplace-style smoothing added to confusion counts in the M-step.
+DEFAULT_SMOOTHING = 0.01
+
+#: Default convergence tolerance on ``max |U_t − U_{t−1}|``.
+DEFAULT_TOL = 1e-4
+
+#: Default cap on EM iterations.
+DEFAULT_MAX_ITER = 100
+
+
+@dataclass(frozen=True)
+class EncodedAnswers:
+    """Flat (object, worker, label) encoding of an answer matrix."""
+
+    n_objects: int
+    n_workers: int
+    n_labels: int
+    object_index: np.ndarray
+    worker_index: np.ndarray
+    label_index: np.ndarray
+
+    @property
+    def n_answers(self) -> int:
+        return int(self.object_index.size)
+
+
+def encode_answers(answer_set: AnswerSet) -> EncodedAnswers:
+    """Flatten an :class:`~repro.core.answer_set.AnswerSet` for the kernel."""
+    matrix = answer_set.matrix
+    obj, wrk = np.nonzero(matrix != MISSING)
+    return EncodedAnswers(
+        n_objects=answer_set.n_objects,
+        n_workers=answer_set.n_workers,
+        n_labels=answer_set.n_labels,
+        object_index=obj,
+        worker_index=wrk,
+        label_index=matrix[obj, wrk],
+    )
+
+
+@dataclass(frozen=True)
+class EMResult:
+    """Converged (or iteration-capped) EM state.
+
+    Attributes
+    ----------
+    assignment:
+        ``n × m`` matrix ``U``; each row is a distribution over labels.
+    confusions:
+        ``k × m × m`` stack of row-stochastic worker confusion matrices.
+    priors:
+        Length-``m`` label prior ``p(l)`` (Eq. 3).
+    n_iterations:
+        Number of E/M iterations executed.
+    converged:
+        Whether the tolerance was reached before the iteration cap.
+    """
+
+    assignment: np.ndarray
+    confusions: np.ndarray
+    priors: np.ndarray
+    n_iterations: int
+    converged: bool
+
+
+# ----------------------------------------------------------------------
+# Initial estimates
+# ----------------------------------------------------------------------
+def initial_assignment_majority(encoded: EncodedAnswers) -> np.ndarray:
+    """Soft majority-vote initialization: normalized per-object vote counts.
+
+    Objects with no answers start uniform. This is the standard
+    Dawid–Skene [9] initialization.
+    """
+    n, m = encoded.n_objects, encoded.n_labels
+    counts = np.zeros((n, m), dtype=float)
+    np.add.at(counts, (encoded.object_index, encoded.label_index), 1.0)
+    return normalize_rows(counts)
+
+
+def initial_assignment_uniform(encoded: EncodedAnswers) -> np.ndarray:
+    """Uninformative uniform initialization."""
+    n, m = encoded.n_objects, encoded.n_labels
+    return np.full((n, m), 1.0 / m)
+
+
+def initial_assignment_random(encoded: EncodedAnswers,
+                              rng: np.random.Generator) -> np.ndarray:
+    """Random-probability initialization — the paper's "traditional EM"
+    restart policy (§6.4): each object row is an independent Dirichlet(1)
+    draw."""
+    n, m = encoded.n_objects, encoded.n_labels
+    return rng.dirichlet(np.ones(m), size=n)
+
+
+# ----------------------------------------------------------------------
+# E/M steps
+# ----------------------------------------------------------------------
+def clamp_validated(assignment: np.ndarray,
+                    validated_objects: np.ndarray,
+                    validated_labels: np.ndarray) -> np.ndarray:
+    """Overwrite validated rows with one-hot expert labels (Eq. 4).
+
+    Returns ``assignment`` (mutated in place) for chaining.
+    """
+    if validated_objects.size:
+        assignment[validated_objects, :] = 0.0
+        assignment[validated_objects, validated_labels] = 1.0
+    return assignment
+
+
+def estimate_priors(assignment: np.ndarray) -> np.ndarray:
+    """Label priors ``p(l) = Σ_o U(o, l) / |O|`` (Eq. 3)."""
+    n = assignment.shape[0]
+    if n == 0:
+        m = assignment.shape[1]
+        return np.full(m, 1.0 / m)
+    priors = assignment.sum(axis=0) / n
+    # Guard against all-mass-on-one-label degeneracies feeding log(0).
+    return np.clip(priors, PROB_FLOOR, None) / np.clip(priors, PROB_FLOOR, None).sum()
+
+
+def m_step(encoded: EncodedAnswers,
+           assignment: np.ndarray,
+           smoothing: float = DEFAULT_SMOOTHING) -> np.ndarray:
+    """Estimate worker confusion matrices from the soft assignment (Eq. 5).
+
+    ``F_w(l', l) ∝ Σ_o U(o, l') · d_w(o, l)``, row-normalized with
+    ``smoothing`` pseudo-counts; rows with no evidence become uniform.
+    """
+    k, m = encoded.n_workers, encoded.n_labels
+    counts = np.zeros((k, m, m), dtype=float)
+    if encoded.n_answers:
+        # counts[w, :, l] += U[o, :] for each answer (o, w, l). Flattened
+        # scatter: index = (w*m + row)*m + l for each of the m rows.
+        rows = np.arange(m)
+        flat_index = ((encoded.worker_index[:, None] * m + rows[None, :]) * m
+                      + encoded.label_index[:, None])
+        np.add.at(counts.reshape(-1), flat_index.reshape(-1),
+                  assignment[encoded.object_index, :].reshape(-1))
+    return normalize_rows(counts, smoothing=smoothing)
+
+
+def e_step(encoded: EncodedAnswers,
+           confusions: np.ndarray,
+           priors: np.ndarray) -> np.ndarray:
+    """Estimate assignment probabilities from confusion matrices (Eq. 1).
+
+    ``U(o, l) ∝ p(l) · Π_w Π_{l'} F_w(l, l')^{d_w(o, l')}``, computed in log
+    space: each answer ``(o, w, l')`` contributes the column
+    ``log F_w(·, l')`` to row ``o`` of the log-likelihood accumulator.
+    Objects without any answers fall back to the prior.
+    """
+    n, m = encoded.n_objects, encoded.n_labels
+    log_conf = np.log(np.clip(confusions, PROB_FLOOR, None))
+    log_like = np.zeros((n, m), dtype=float)
+    if encoded.n_answers:
+        contributions = log_conf[encoded.worker_index, :, encoded.label_index]
+        np.add.at(log_like, encoded.object_index, contributions)
+    log_like += np.log(np.clip(priors, PROB_FLOOR, None))[None, :]
+    log_like -= log_like.max(axis=1, keepdims=True)
+    assignment = np.exp(log_like)
+    assignment /= assignment.sum(axis=1, keepdims=True)
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_em(encoded: EncodedAnswers,
+           initial_assignment: np.ndarray,
+           validated_objects: np.ndarray | None = None,
+           validated_labels: np.ndarray | None = None,
+           *,
+           max_iter: int = DEFAULT_MAX_ITER,
+           tol: float = DEFAULT_TOL,
+           smoothing: float = DEFAULT_SMOOTHING) -> EMResult:
+    """Run EM to convergence from an initial soft assignment.
+
+    Parameters
+    ----------
+    encoded:
+        Flattened answers (see :func:`encode_answers`).
+    initial_assignment:
+        ``n × m`` starting value of ``U``; not mutated.
+    validated_objects, validated_labels:
+        Parallel arrays of expert-validated object indices and their labels.
+        Their rows are clamped to one-hot before every M-step, making the
+        expert input ground truth for worker-reliability estimation.
+    max_iter, tol, smoothing:
+        Iteration cap, convergence tolerance on ``max |ΔU|``, and M-step
+        pseudo-count.
+
+    Returns
+    -------
+    EMResult
+        Final assignment, confusion matrices, priors, and iteration count.
+    """
+    if validated_objects is None:
+        validated_objects = np.empty(0, dtype=np.int64)
+    if validated_labels is None:
+        validated_labels = np.empty(0, dtype=np.int64)
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+
+    assignment = np.array(initial_assignment, dtype=float, copy=True)
+    clamp_validated(assignment, validated_objects, validated_labels)
+
+    confusions = m_step(encoded, assignment, smoothing)
+    priors = estimate_priors(assignment)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        new_assignment = e_step(encoded, confusions, priors)
+        clamp_validated(new_assignment, validated_objects, validated_labels)
+        delta = float(np.max(np.abs(new_assignment - assignment))) \
+            if assignment.size else 0.0
+        assignment = new_assignment
+        confusions = m_step(encoded, assignment, smoothing)
+        priors = estimate_priors(assignment)
+        if delta < tol:
+            converged = True
+            break
+    return EMResult(assignment=assignment, confusions=confusions,
+                    priors=priors, n_iterations=iterations,
+                    converged=converged)

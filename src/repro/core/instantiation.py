@@ -1,0 +1,37 @@
+"""Instantiation: deriving the deterministic assignment (paper §3.2).
+
+The *filter* step turns a probabilistic answer set into the deterministic
+assignment ``d : O -> L`` handed to downstream applications: for every
+validated object the expert's label wins outright; every other object gets
+the label with the highest assignment probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.answer_set import MISSING
+from repro.core.probabilistic import ProbabilisticAnswerSet
+
+
+def deterministic_assignment(prob_set: ProbabilisticAnswerSet) -> np.ndarray:
+    """The deterministic assignment ``d`` (Algorithm 1, line 17).
+
+    Returns a length-``n`` vector of label codes. Expert-validated objects
+    carry the expert's label; the rest carry ``argmax_l U(o, l)`` with ties
+    broken toward the lower label code (deterministic, like ``np.argmax``).
+    """
+    labels = prob_set.map_labels()
+    validated = prob_set.validation.as_array()
+    return np.where(validated != MISSING, validated, labels)
+
+
+def assignment_confidence(prob_set: ProbabilisticAnswerSet) -> np.ndarray:
+    """Probability mass behind each object's chosen label.
+
+    1.0 for validated objects; ``max_l U(o, l)`` otherwise. Useful for
+    reporting which parts of the result remain weakly supported.
+    """
+    confidence = prob_set.assignment.max(axis=1)
+    validated_mask = prob_set.validation.as_array() != MISSING
+    return np.where(validated_mask, 1.0, confidence)

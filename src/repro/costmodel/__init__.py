@@ -1,0 +1,38 @@
+"""The §6.8 cost model: EV vs WO curves and budget allocation."""
+
+from repro.costmodel.allocation import (
+    AllocationPoint,
+    ConstrainedAllocation,
+    allocation_curve,
+    best_allocation,
+    best_allocation_with_time,
+)
+from repro.costmodel.model import (
+    DEFAULT_THETA,
+    BudgetSplit,
+    CostParams,
+    budget_for_ratio,
+    ev_cost_per_object,
+    ev_total_cost,
+    split_budget,
+    wo_total_cost,
+)
+from repro.costmodel.tradeoff import CostCurvePoint, ev_cost_curve, wo_cost_curve
+
+__all__ = [
+    "AllocationPoint",
+    "BudgetSplit",
+    "ConstrainedAllocation",
+    "CostCurvePoint",
+    "CostParams",
+    "DEFAULT_THETA",
+    "allocation_curve",
+    "best_allocation",
+    "best_allocation_with_time",
+    "budget_for_ratio",
+    "ev_cost_curve",
+    "ev_cost_per_object",
+    "ev_total_cost",
+    "split_budget",
+    "wo_cost_curve",
+]

@@ -1,0 +1,146 @@
+"""Budget allocation between crowd and expert (paper §6.8, Figures 13–14).
+
+Given a fixed budget ``b = ρ·θ·n``, how much should go to crowd answers
+(raising ``φ₀``) versus expert validations? For every candidate crowd share
+the allocation curve runs the full pipeline — thin the campaign to the
+affordable ``φ₀``, validate with the affordable number of expert inputs —
+and records the resulting precision. The optimum is the arg-max point;
+adding a completion-time constraint (expert validations are sequential)
+restricts the feasible region and yields the paper's A/B/C construction in
+Figure 14.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.model import budget_for_ratio, split_budget
+from repro.errors import CostModelError
+from repro.experts.simulated import OracleExpert
+from repro.guidance.base import GuidanceStrategy
+from repro.guidance.max_entropy import MaxEntropyStrategy
+from repro.process.validation_process import ValidationProcess
+from repro.simulation.crowd import SimulatedCrowd, subsample_per_object
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class AllocationPoint:
+    """Outcome of one crowd/expert budget split.
+
+    Attributes
+    ----------
+    crowd_share:
+        Fraction of the budget spent on crowd answers.
+    phi0:
+        Answers per object that share affords.
+    n_validations:
+        Expert validations the rest affords (also the completion-time
+        proxy — the y2-axis of Figure 14).
+    precision:
+        Final precision of the deterministic assignment.
+    """
+
+    crowd_share: float
+    phi0: int
+    n_validations: int
+    precision: float
+
+
+def allocation_curve(crowd: SimulatedCrowd,
+                     rho: float,
+                     theta: float,
+                     shares: Sequence[float],
+                     strategy: GuidanceStrategy | None = None,
+                     rng: np.random.Generator | int | None = None,
+                     ) -> list[AllocationPoint]:
+    """Precision for each crowd-share split of the budget ``b = ρ·θ·n``.
+
+    Shares whose crowd part cannot afford one answer per object are
+    skipped; a share of 1.0 reproduces the WO special case (all budget on
+    the crowd, zero validations).
+    """
+    generator = ensure_rng(rng)
+    n = crowd.answer_set.n_objects
+    max_phi = int(crowd.answer_set.answers_per_object().max())
+    budget = budget_for_ratio(rho, theta, n)
+    points: list[AllocationPoint] = []
+    for share in shares:
+        try:
+            spend = split_budget(budget, float(share), theta, n)
+        except CostModelError:
+            continue
+        phi0 = min(spend.phi0, max_phi)
+        thinned = subsample_per_object(crowd, phi0, generator)
+        n_validations = min(spend.n_validations, n)
+        process = ValidationProcess(
+            thinned,
+            OracleExpert(crowd.gold),
+            strategy=strategy or MaxEntropyStrategy(),
+            budget=n_validations,
+            gold=crowd.gold,
+            rng=generator,
+        )
+        report = process.run()
+        points.append(AllocationPoint(
+            crowd_share=float(share),
+            phi0=phi0,
+            n_validations=report.total_effort,
+            precision=report.final_precision(),
+        ))
+    if not points:
+        raise CostModelError(
+            f"no feasible allocation for rho={rho}, theta={theta}")
+    return points
+
+
+def best_allocation(points: Sequence[AllocationPoint]) -> AllocationPoint:
+    """The precision-maximizing split (ties → fewer validations, i.e.
+    faster completion)."""
+    if not points:
+        raise CostModelError("no allocation points given")
+    return max(points, key=lambda p: (p.precision, -p.n_validations))
+
+
+@dataclass(frozen=True)
+class ConstrainedAllocation:
+    """The Figure 14 construction under a completion-time constraint.
+
+    Attributes
+    ----------
+    optimum:
+        Point **A**: precision-maximizing split within the feasible region.
+    boundary_share:
+        Point **C**: smallest feasible crowd share (where the time curve
+        crosses the constraint — point **B** sits on the constraint line at
+        this share).
+    feasible:
+        The feasible sub-curve (completion time within the constraint).
+    """
+
+    optimum: AllocationPoint
+    boundary_share: float
+    feasible: tuple[AllocationPoint, ...]
+
+
+def best_allocation_with_time(points: Sequence[AllocationPoint],
+                              max_validations: int,
+                              ) -> ConstrainedAllocation:
+    """Restrict to splits whose expert time fits ``max_validations`` and
+    pick the best (Figure 14's point A within the [C, 100 %] region)."""
+    if max_validations < 0:
+        raise CostModelError(
+            f"max_validations must be >= 0, got {max_validations}")
+    feasible = tuple(p for p in points if p.n_validations <= max_validations)
+    if not feasible:
+        raise CostModelError(
+            f"no allocation satisfies the time constraint "
+            f"({max_validations} validations)")
+    return ConstrainedAllocation(
+        optimum=best_allocation(feasible),
+        boundary_share=min(p.crowd_share for p in feasible),
+        feasible=feasible,
+    )

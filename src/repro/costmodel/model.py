@@ -1,0 +1,130 @@
+"""The crowdsourcing cost model (paper §6.8).
+
+Monetary cost is expressed in *worker-answer units*: one crowd answer costs
+1, one expert validation costs ``θ`` (the paper estimates θ ≈ 12.5 from
+AMT's ~2 $/h against a 25 $/h expert wage, and stress-tests θ up to 100).
+A campaign that asked ``φ₀`` answers per object for ``n`` objects has paid
+``n · φ₀``; afterwards quality can be bought two ways:
+
+* **EV** — keep the answers, pay an expert for ``i`` validations:
+  ``P_EV = θ·i + n·φ₀``;
+* **WO** — buy more crowd answers until each object has ``φ > φ₀``:
+  ``P_WO = n·φ``.
+
+Completion time is dominated by the sequential expert validations (crowd
+workers answer concurrently), so the time axis of Figure 14 is simply the
+number of expert inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+
+#: The paper's default expert-to-worker cost ratio (§6.8).
+DEFAULT_THETA = 12.5
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Economic parameters of a validation campaign.
+
+    Attributes
+    ----------
+    theta:
+        Cost of one expert validation, in crowd-answer units.
+    phi0:
+        Answers per object already purchased from the crowd.
+    """
+
+    theta: float = DEFAULT_THETA
+    phi0: float = 13.0
+
+    def __post_init__(self) -> None:
+        if self.theta <= 0:
+            raise CostModelError(f"theta must be > 0, got {self.theta}")
+        if self.phi0 < 0:
+            raise CostModelError(f"phi0 must be >= 0, got {self.phi0}")
+
+
+def ev_total_cost(params: CostParams, n_objects: int,
+                  n_validations: int) -> float:
+    """``P_EV = θ·i + n·φ₀``."""
+    if n_validations < 0:
+        raise CostModelError(
+            f"n_validations must be >= 0, got {n_validations}")
+    return params.theta * n_validations + n_objects * params.phi0
+
+
+def wo_total_cost(phi: float, n_objects: int) -> float:
+    """``P_WO = n·φ``."""
+    if phi < 0:
+        raise CostModelError(f"phi must be >= 0, got {phi}")
+    return n_objects * phi
+
+
+def ev_cost_per_object(params: CostParams, n_objects: int,
+                       n_validations: int) -> float:
+    """Normalized EV cost ``φ₀ + θ·i/n`` — the x-axis of Figure 12."""
+    if n_objects <= 0:
+        raise CostModelError(f"n_objects must be > 0, got {n_objects}")
+    return ev_total_cost(params, n_objects, n_validations) / n_objects
+
+
+def budget_for_ratio(rho: float, theta: float, n_objects: int) -> float:
+    """Fixed budget ``b = ρ·θ·n`` (§6.8, budget-constraint experiments).
+
+    ``ρ ∈ [1/θ, 1]`` spans "all budget buys one answer per object" up to
+    "the budget could pay the expert for everything".
+    """
+    if theta <= 0:
+        raise CostModelError(f"theta must be > 0, got {theta}")
+    if not (1.0 / theta) - 1e-9 <= rho <= 1.0 + 1e-9:
+        raise CostModelError(
+            f"rho must be in [1/theta, 1] = [{1.0 / theta:.4f}, 1], got {rho}")
+    return rho * theta * n_objects
+
+
+@dataclass(frozen=True)
+class BudgetSplit:
+    """A feasible division of a fixed budget between crowd and expert.
+
+    Attributes
+    ----------
+    crowd_share:
+        Fraction of the budget spent on crowd answers (Figure 13's x-axis).
+    phi0:
+        Whole answers per object the crowd budget buys.
+    n_validations:
+        Whole expert validations the remaining budget buys.
+    """
+
+    crowd_share: float
+    phi0: int
+    n_validations: int
+
+
+def split_budget(budget: float, crowd_share: float, theta: float,
+                 n_objects: int) -> BudgetSplit:
+    """Divide ``budget`` between the crowd and the expert.
+
+    The crowd share buys ``φ₀ = ⌊share·b/n⌋`` answers per object (at least
+    one — an empty answer set cannot be validated); the remainder funds
+    ``i = ⌊(b − n·φ₀)/θ⌋`` expert validations.
+    """
+    if budget <= 0:
+        raise CostModelError(f"budget must be > 0, got {budget}")
+    if not 0.0 <= crowd_share <= 1.0:
+        raise CostModelError(
+            f"crowd_share must be in [0, 1], got {crowd_share}")
+    phi0 = int(crowd_share * budget / n_objects)
+    phi0 = max(1, phi0)
+    if phi0 * n_objects > budget + 1e-9:
+        raise CostModelError(
+            f"budget {budget} cannot afford one answer per object "
+            f"({n_objects} objects)")
+    remaining = budget - phi0 * n_objects
+    n_validations = int(remaining / theta)
+    return BudgetSplit(crowd_share=float(crowd_share), phi0=phi0,
+                       n_validations=n_validations)

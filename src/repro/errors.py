@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends raised by NumPy or the
+standard library) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidAnswerSetError(ReproError):
+    """An answer set violates a structural invariant.
+
+    Raised when an answer matrix has the wrong shape, contains label codes
+    outside ``[-1, n_labels)``, or when the object/worker/label vocabularies
+    contain duplicates.
+    """
+
+
+class InvalidValidationError(ReproError):
+    """An expert-validation function is inconsistent with its answer set.
+
+    Raised when a validation vector has the wrong length, refers to unknown
+    labels, or when a caller tries to validate an object twice with
+    conflicting labels without explicitly allowing overwrites.
+    """
+
+
+class InvalidProbabilityError(ReproError):
+    """A probabilistic quantity is not a valid distribution.
+
+    Raised when an assignment matrix row does not sum to one, a confusion
+    matrix is not row-stochastic, or a prior vector contains negative mass.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Expectation-maximization failed to make progress.
+
+    Only raised when the caller explicitly requests strict convergence
+    (``require_convergence=True``); by default EM returns the best estimate
+    after ``max_iter`` iterations, as the paper's algorithms do.
+    """
+
+
+class BudgetExhaustedError(ReproError):
+    """A validation process was asked to continue past its effort budget."""
+
+
+class GuidanceError(ReproError):
+    """A guidance strategy could not select an object.
+
+    Raised when there are no unvalidated objects left to choose from, or
+    when a strategy is queried before the process has been initialized.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be loaded, parsed, or generated.
+
+    Covers unknown dataset names, malformed triple files, and gold files
+    that refer to objects absent from the response file.
+    """
+
+
+class PartitioningError(ReproError):
+    """The sparse-matrix partitioner received an unusable input.
+
+    Raised for empty graphs, non-positive block-size limits, and disconnected
+    inputs that cannot be balanced under the requested constraints.
+    """
+
+
+class CostModelError(ReproError):
+    """The cost model received inconsistent economic parameters.
+
+    Raised for non-positive expert/worker cost ratios, budgets smaller than
+    the mandatory initial crowd cost, or allocation ratios outside [0, 1].
+    """
+
+
+class ExpertError(ReproError):
+    """A simulated or interactive expert could not produce a validation."""

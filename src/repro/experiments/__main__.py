@@ -1,0 +1,72 @@
+"""Command-line entry point for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig10 [--scale 0.5] [--seed 7]
+    python -m repro.experiments run-all [--scale 0.25] [--out results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run_one = sub.add_parser("run", help="run one experiment")
+    run_one.add_argument("experiment_id", choices=sorted(ALL_EXPERIMENTS))
+    run_one.add_argument("--scale", type=float, default=1.0,
+                         help="fidelity/speed factor (default 1.0)")
+    run_one.add_argument("--seed", type=int, default=0)
+    run_one.add_argument("--json", type=pathlib.Path, default=None,
+                         help="also write the result as JSON to this path")
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--scale", type=float, default=1.0)
+    run_all.add_argument("--seed", type=int, default=0)
+    run_all.add_argument("--out", type=pathlib.Path, default=None,
+                         help="directory for per-experiment JSON results")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in ALL_EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment_id, scale=args.scale,
+                                seed=args.seed)
+        print(result.to_text())
+        print(f"[elapsed: {result.elapsed_seconds:.2f}s]")
+        if args.json is not None:
+            result.save(str(args.json))
+        return 0
+    # run-all
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ALL_EXPERIMENTS:
+        result = run_experiment(experiment_id, scale=args.scale,
+                                seed=args.seed)
+        print(result.to_text())
+        print(f"[elapsed: {result.elapsed_seconds:.2f}s]")
+        print()
+        if args.out is not None:
+            result.save(str(args.out / f"{experiment_id}.json"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

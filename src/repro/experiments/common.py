@@ -1,0 +1,256 @@
+"""Shared infrastructure for the experiment drivers (paper §6).
+
+Every experiment module exposes ``run(scale=1.0, seed=0) -> ExperimentResult``
+and registers itself under its paper artifact id (``fig10``, ``tab06``, …).
+``scale`` trades fidelity for speed: it multiplies repeat counts and the
+validated-effort budget, letting the pytest benchmarks exercise the exact
+experiment code path at a fraction of the full cost. ``scale=1.0``
+regenerates the paper-sized experiment.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.answer_set import AnswerSet
+from repro.experts.simulated import Expert, OracleExpert
+from repro.guidance.base import GuidanceStrategy
+from repro.guidance.hybrid import HybridStrategy
+from repro.guidance.information_gain import InformationGainStrategy
+from repro.guidance.max_entropy import MaxEntropyStrategy
+from repro.guidance.worker_driven import WorkerDrivenStrategy
+from repro.metrics.evaluation import average_curves
+from repro.process.goals import PrecisionReached
+from repro.process.report import ValidationReport
+from repro.process.validation_process import ValidationProcess
+from repro.utils.rng import ensure_rng, split_rng
+
+#: Candidate-pruning width used by look-ahead strategies in experiments;
+#: keeps per-iteration latency bounded on the 800-object rte dataset.
+CANDIDATE_LIMIT = 20
+
+#: Common relative-effort grid for averaged precision curves (0 … 100 %).
+EFFORT_GRID = np.round(np.arange(0.0, 1.0001, 0.05), 3)
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: rows plus provenance.
+
+    Attributes
+    ----------
+    experiment_id:
+        The paper artifact id (``fig10``, ``tab05``, …).
+    title:
+        Human-readable description of what the rows show.
+    columns:
+        Column names for ``rows``.
+    rows:
+        The table body (the series a figure plots, or a table's cells).
+    metadata:
+        Parameters used (scale, seed, dataset names, repeat counts, …).
+    elapsed_seconds:
+        Wall-clock time of the driver.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[tuple]
+    metadata: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def to_text(self) -> str:
+        """Render as an aligned text table (what the benches print)."""
+        header = [str(c) for c in self.columns]
+        body = [[_format_cell(cell) for cell in row] for row in self.rows]
+        widths = [max(len(header[i]), *(len(r[i]) for r in body))
+                  if body else len(header[i]) for i in range(len(header))]
+        lines = [f"# {self.experiment_id}: {self.title}"]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.metadata:
+            meta = ", ".join(f"{k}={v}" for k, v in self.metadata.items())
+            lines.append(f"[{meta}]")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": [list(row) for row in self.rows],
+            "metadata": self.metadata,
+            "elapsed_seconds": self.elapsed_seconds,
+        }, default=_json_default, indent=2)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def _json_default(value: object) -> object:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"unserializable {type(value)!r}")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+#: experiment id -> module path; populated lazily so importing one driver
+#: doesn't pull in all of them.
+REGISTRY: dict[str, str] = {}
+
+
+def register(experiment_id: str, module: str) -> None:
+    REGISTRY[experiment_id] = module
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0,
+                   seed: int = 0) -> ExperimentResult:
+    """Look up and execute an experiment driver by artifact id."""
+    from repro.experiments import ALL_EXPERIMENTS  # populates REGISTRY
+    if experiment_id not in ALL_EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(ALL_EXPERIMENTS)}")
+    module = importlib.import_module(ALL_EXPERIMENTS[experiment_id])
+    started = time.perf_counter()
+    result: ExperimentResult = module.run(scale=scale, seed=seed)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# Scale plumbing
+# ----------------------------------------------------------------------
+def scaled_repeats(base: int, scale: float) -> int:
+    """Repeat count under a scale factor (at least one run)."""
+    return max(1, int(round(base * scale)))
+
+
+def scaled_budget(n_objects: int, scale: float,
+                  floor: float = 0.1) -> int:
+    """Effort budget under a scale factor: the full object count at
+    scale ≥ 1, never below ``floor`` of it."""
+    fraction = min(1.0, max(floor, scale))
+    return max(1, int(round(n_objects * fraction)))
+
+
+# ----------------------------------------------------------------------
+# Strategy factories (the paper's two contenders)
+# ----------------------------------------------------------------------
+def hybrid_strategy(candidate_limit: int = CANDIDATE_LIMIT) -> GuidanceStrategy:
+    """The paper's hybrid approach with experiment-sized candidate pruning."""
+    return HybridStrategy(
+        uncertainty=InformationGainStrategy(candidate_limit=candidate_limit),
+        worker=WorkerDrivenStrategy(candidate_limit=candidate_limit),
+    )
+
+
+def baseline_strategy() -> GuidanceStrategy:
+    """The §6.6 baseline: max-entropy object selection."""
+    return MaxEntropyStrategy()
+
+
+DEFAULT_STRATEGIES: Mapping[str, Callable[[], GuidanceStrategy]] = {
+    "baseline": baseline_strategy,
+    "hybrid": hybrid_strategy,
+}
+
+
+# ----------------------------------------------------------------------
+# The workhorse: averaged precision-vs-effort comparisons
+# ----------------------------------------------------------------------
+def run_validation(answer_set: AnswerSet,
+                   gold: np.ndarray,
+                   strategy: GuidanceStrategy,
+                   budget: int,
+                   rng: np.random.Generator,
+                   expert: Expert | None = None,
+                   confirmation_interval: int | None = None,
+                   aggregator: "IncrementalEM | None" = None,
+                   ) -> ValidationReport:
+    """One validation run to perfect precision (or budget exhaustion)."""
+    process = ValidationProcess(
+        answer_set,
+        expert if expert is not None else OracleExpert(gold),
+        strategy=strategy,
+        aggregator=aggregator,
+        goal=PrecisionReached(1.0),
+        budget=budget,
+        confirmation_interval=confirmation_interval,
+        gold=gold,
+        rng=rng,
+    )
+    return process.run()
+
+
+def guidance_comparison(answer_set: AnswerSet,
+                        gold: np.ndarray,
+                        strategies: Mapping[str, Callable[[], GuidanceStrategy]],
+                        repeats: int,
+                        budget: int,
+                        rng: np.random.Generator | int | None = None,
+                        expert_factory: Callable[[np.random.Generator], Expert]
+                        | None = None,
+                        confirmation_interval: int | None = None,
+                        grid: np.ndarray = EFFORT_GRID,
+                        ) -> dict[str, np.ndarray]:
+    """Average precision-vs-effort curves for competing strategies.
+
+    Returns ``{strategy name: mean precision at each grid effort}`` plus the
+    ``"__initial__"`` entry holding the mean starting precision. Each repeat
+    uses an independent RNG stream, shared across strategies so they face
+    identical tie-break randomness.
+    """
+    generator = ensure_rng(rng)
+    streams = split_rng(generator, repeats * (len(strategies) + 1))
+    curves: dict[str, list] = {name: [] for name in strategies}
+    initials: list[float] = []
+    stream_index = 0
+    for _ in range(repeats):
+        for name, factory in strategies.items():
+            stream = streams[stream_index]
+            stream_index += 1
+            expert = (expert_factory(stream) if expert_factory is not None
+                      else None)
+            report = run_validation(
+                answer_set, gold, factory(), budget, stream,
+                expert=expert,
+                confirmation_interval=confirmation_interval)
+            curves[name].append((report.efforts(), report.precisions()))
+            initials.append(report.initial_precision)
+    result = {
+        name: average_curves(runs, grid) for name, runs in curves.items()
+    }
+    result["__initial__"] = np.full(grid.shape, float(np.mean(initials)))
+    return result
+
+
+def curve_rows(grid: np.ndarray,
+               curves: Mapping[str, np.ndarray],
+               series_order: Sequence[str]) -> list[tuple]:
+    """Tabulate effort-grid curves as (effort%, series values…) rows."""
+    rows: list[tuple] = []
+    for i, effort in enumerate(grid):
+        rows.append((round(float(effort) * 100, 1),
+                     *(float(curves[name][i]) for name in series_order)))
+    return rows

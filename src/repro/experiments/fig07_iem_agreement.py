@@ -1,0 +1,79 @@
+"""Figure 7: selection agreement of incremental vs non-incremental EM (§6.4).
+
+At 20 %, 50 %, and 80 % expert effort on every dataset, compares the object
+that information-gain guidance would select when the probabilistic answer
+set comes from (i) the incremental i-EM chain versus (ii) a traditional EM
+restarted from random probabilities. The paper reports agreement in
+virtually all cases (≥ ~85 %), certifying that incrementality does not
+derail the guidance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.em import DawidSkeneEM
+from repro.core.iem import IncrementalEM
+from repro.core.uncertainty import object_entropies
+from repro.core.validation import ExpertValidation
+from repro.experiments.common import ExperimentResult, scaled_repeats
+from repro.guidance.base import GuidanceContext
+from repro.guidance.information_gain import InformationGainStrategy
+from repro.simulation.realworld import DATASET_NAMES, load_dataset
+from repro.utils.rng import ensure_rng
+from repro.workers.spammer_detection import SpammerDetector
+
+EFFORTS = (0.2, 0.5, 0.8)
+
+#: Look-ahead width for the agreement check (top entropy candidates).
+CANDIDATES = 10
+
+
+def _top_choice(prob_set, rng) -> int:
+    strategy = InformationGainStrategy(candidate_limit=CANDIDATES)
+    context = GuidanceContext(
+        prob_set=prob_set, aggregator=IncrementalEM(),
+        detector=SpammerDetector(), rng=rng)
+    return strategy.select(context).object_index
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    repeats = scaled_repeats(10, scale)
+    generator = ensure_rng(seed)
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name)
+        answers, gold = dataset.answer_set, dataset.gold
+        n = answers.n_objects
+        agreement: dict[float, int] = {e: 0 for e in EFFORTS}
+        for _ in range(repeats):
+            order = generator.permutation(n)
+            for effort in EFFORTS:
+                validated = order[:int(effort * n)]
+                validation = ExpertValidation.from_mapping(
+                    {int(o): int(gold[o]) for o in validated},
+                    n, answers.n_labels)
+                # Incremental: warm chain (single conclude from majority
+                # then expert clamping — the incremental fixed point).
+                iem = IncrementalEM()
+                inc_state = iem.conclude(answers, validation)
+                inc_state = iem.conclude(answers, validation,
+                                         previous=inc_state)
+                # Non-incremental: random-restart traditional EM.
+                batch = DawidSkeneEM(init="random",
+                                     rng=generator).fit(answers, validation)
+                pick_rng = np.random.default_rng(0)
+                inc_pick = _top_choice(inc_state, pick_rng)
+                pick_rng = np.random.default_rng(0)
+                batch_pick = _top_choice(batch, pick_rng)
+                agreement[effort] += int(inc_pick == batch_pick)
+        rows.append((name, *(agreement[e] / repeats * 100.0
+                             for e in EFFORTS)))
+    return ExperimentResult(
+        experiment_id="fig07",
+        title="Same-object selection (%) — incremental vs random-restart EM",
+        columns=["dataset", "effort_20%", "effort_50%", "effort_80%"],
+        rows=rows,
+        metadata={"repeats": repeats, "candidates": CANDIDATES,
+                  "seed": seed},
+    )

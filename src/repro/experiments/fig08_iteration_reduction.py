@@ -1,0 +1,61 @@
+"""Figure 8: EM-iteration savings from incrementality (§6.4).
+
+On a synthetic 50×20 crowd (normal reliability 0.65), runs the validation
+process and, at every step, counts the EM iterations of (i) the i-EM warm
+start against (ii) a cold majority-init batch run over the same state. The
+iteration reduction grows with expert effort — the more ground truth is in
+place, the closer the previous state already is to the fixed point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.em import DawidSkeneEM
+from repro.core.iem import IncrementalEM
+from repro.core.validation import ExpertValidation
+from repro.experiments.common import ExperimentResult, scaled_repeats
+from repro.simulation.crowd import CrowdConfig, simulate_crowd
+from repro.utils.rng import ensure_rng, split_rng
+
+EFFORT_BUCKETS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    repeats = scaled_repeats(20, scale)
+    generator = ensure_rng(seed)
+    streams = split_rng(generator, repeats)
+    config = CrowdConfig(n_objects=50, n_workers=20, reliability=0.65)
+
+    bucket_savings: dict[float, list[float]] = {e: [] for e in EFFORT_BUCKETS}
+    for stream in streams:
+        crowd = simulate_crowd(config, rng=stream)
+        answers, gold = crowd.answer_set, crowd.gold
+        n = answers.n_objects
+        iem = IncrementalEM()
+        validation = ExpertValidation.empty_for(answers)
+        state = iem.conclude(answers, validation)
+        order = stream.permutation(n)
+        for step, obj in enumerate(order, start=1):
+            validation.assign(int(obj), int(gold[obj]))
+            warm = iem.conclude(answers, validation, previous=state)
+            cold = DawidSkeneEM(init="majority").fit(answers, validation)
+            state = warm
+            effort = step / n
+            bucket = min(b for b in EFFORT_BUCKETS if effort <= b + 1e-9)
+            if cold.n_em_iterations > 0:
+                saving = (cold.n_em_iterations - warm.n_em_iterations) \
+                    / cold.n_em_iterations * 100.0
+                bucket_savings[bucket].append(saving)
+
+    rows = [(int(bucket * 100), float(np.mean(values)) if values else 0.0,
+             len(values))
+            for bucket, values in bucket_savings.items()]
+    return ExperimentResult(
+        experiment_id="fig08",
+        title="EM iteration reduction (%) from incremental warm starts",
+        columns=["effort_bucket_%", "iteration_reduction_%", "n_samples"],
+        rows=rows,
+        metadata={"repeats": repeats, "n_objects": 50, "n_workers": 20,
+                  "reliability": 0.65, "seed": seed},
+    )

@@ -1,0 +1,58 @@
+"""Figure 11: guidance under erroneous expert input (§6.7).
+
+The art dataset (the one where human experts actually slipped — 8 % of
+inputs) validated by a noisy expert, with the §5.5 confirmation check
+running every 1 % of total validations. Hybrid should still clearly beat
+the baseline, and the curves should stay close to the mistake-free run of
+Figure 16 — the robustness claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    DEFAULT_STRATEGIES,
+    EFFORT_GRID,
+    ExperimentResult,
+    curve_rows,
+    guidance_comparison,
+    scaled_budget,
+    scaled_repeats,
+)
+from repro.experts.simulated import NoisyExpert
+from repro.simulation.realworld import load_dataset
+from repro.utils.rng import ensure_rng
+
+#: Mistake probability of the worst human expert in the paper's tool study.
+MISTAKE_PROBABILITY = 0.08
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    dataset = load_dataset("art")
+    answers, gold = dataset.answer_set, dataset.gold
+    repeats = scaled_repeats(3, scale)
+    budget = scaled_budget(answers.n_objects, scale)
+    interval = max(1, answers.n_objects // 100)
+    generator = ensure_rng(seed)
+
+    def expert_factory(rng: np.random.Generator) -> NoisyExpert:
+        return NoisyExpert(gold, answers.n_labels,
+                           mistake_probability=MISTAKE_PROBABILITY, rng=rng)
+
+    curves = guidance_comparison(
+        answers, gold, DEFAULT_STRATEGIES, repeats, budget, generator,
+        expert_factory=expert_factory, confirmation_interval=interval)
+    rows = curve_rows(EFFORT_GRID, curves, ["baseline", "hybrid"])
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Guidance with expert mistakes (art, p=0.08, confirmation "
+              "check on)",
+        columns=["effort_%", "baseline_precision", "hybrid_precision"],
+        rows=rows,
+        metadata={"dataset": "art", "repeats": repeats, "budget": budget,
+                  "mistake_probability": MISTAKE_PROBABILITY,
+                  "confirmation_interval": interval,
+                  "initial_precision": round(float(curves["__initial__"][0]), 4),
+                  "seed": seed},
+    )

@@ -1,0 +1,83 @@
+"""Figure 12: buy crowd answers or expert validations? (§6.8).
+
+A synthetic campaign with a deep answer pool, thinned to φ₀ ∈ {3, 13}
+answers per object. The WO strategy buys the removed answers back; the EV
+strategy spends the same money on guided validations at expert cost ratios
+θ ∈ {12.5, 25, 50, 100}. Reported per (φ₀, strategy): precision improvement
+vs normalized per-object cost. Reproduced shape: EV dominates WO for
+θ ≤ 50, WO cannot reach 100 % improvement, and θ = 100 is the break-even
+regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.model import CostParams
+from repro.costmodel.tradeoff import ev_cost_curve, wo_cost_curve
+from repro.experiments.common import ExperimentResult, scaled_repeats
+from repro.simulation.crowd import CrowdConfig, simulate_crowd
+from repro.utils.rng import ensure_rng, split_rng
+from repro.workers.types import WorkerType
+
+THETAS = (12.5, 25.0, 50.0, 100.0)
+PHI0S = (3, 13)
+
+#: Pool depth: answers available per object for the WO strategy to buy.
+POOL_DEPTH = 60
+
+
+def _pool_config(scale: float) -> CrowdConfig:
+    n_objects = max(20, int(40 * min(1.0, scale)))
+    return CrowdConfig(
+        n_objects=n_objects, n_workers=POOL_DEPTH + 20,
+        answers_per_object=POOL_DEPTH, reliability=0.7,
+        population={
+            WorkerType.NORMAL: 0.55,
+            WorkerType.SLOPPY: 0.20,
+            WorkerType.UNIFORM_SPAMMER: 0.125,
+            WorkerType.RANDOM_SPAMMER: 0.125,
+        })
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    repeats = scaled_repeats(3, scale)
+    generator = ensure_rng(seed)
+    config = _pool_config(scale)
+    rows: list[tuple] = []
+    for phi0 in PHI0S:
+        wo_phis = [phi for phi in
+                   (phi0, phi0 + 7, phi0 + 17, phi0 + 32, phi0 + 47,
+                    POOL_DEPTH)
+                   if phi <= POOL_DEPTH]
+        n = config.n_objects
+        ev_checkpoints = [0, n // 8, n // 4, n // 2, 3 * n // 4, n]
+        wo_acc: dict[int, list[float]] = {phi: [] for phi in wo_phis}
+        ev_acc: dict[tuple[float, int], list[tuple[float, float]]] = {}
+        for stream in split_rng(generator, repeats):
+            crowd = simulate_crowd(config, rng=stream)
+            for point in wo_cost_curve(crowd, phi0, wo_phis, rng=stream):
+                wo_acc[point.detail].append(point.improvement)
+            ev = ev_cost_curve(crowd, CostParams(theta=1.0, phi0=phi0),
+                               ev_checkpoints, rng=stream)
+            for theta in THETAS:
+                for point in ev:
+                    key = (theta, point.detail)
+                    cost = phi0 + theta * point.detail / n
+                    ev_acc.setdefault(key, []).append(
+                        (cost, point.improvement))
+        for phi, improvements in wo_acc.items():
+            rows.append((phi0, "WO", float(phi),
+                         float(np.mean(improvements)) * 100.0))
+        for (theta, detail), samples in sorted(ev_acc.items()):
+            cost = float(np.mean([c for c, _ in samples]))
+            improvement = float(np.mean([i for _, i in samples])) * 100.0
+            rows.append((phi0, f"EV(theta={theta:g})", cost, improvement))
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Precision improvement vs per-object cost: EV vs WO",
+        columns=["phi0", "strategy", "cost_per_object", "improvement_%"],
+        rows=rows,
+        metadata={"repeats": repeats, "n_objects": config.n_objects,
+                  "pool_depth": POOL_DEPTH, "seed": seed},
+    )

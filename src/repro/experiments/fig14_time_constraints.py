@@ -1,0 +1,74 @@
+"""Figure 14: budget allocation under a completion-time constraint (§6.8).
+
+Extends Figure 13's ρ = 0.4 sweep with the completion-time proxy (number of
+expert validations, which are sequential). A time constraint caps the
+feasible validations; the driver reports the precision and time curves, the
+constraint crossing (point B / boundary share C), and the constrained
+optimum (point A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.allocation import (
+    allocation_curve,
+    best_allocation_with_time,
+)
+from repro.experiments.common import ExperimentResult, scaled_repeats
+from repro.experiments.fig12_cost_tradeoff import _pool_config
+from repro.simulation.crowd import simulate_crowd
+from repro.utils.rng import ensure_rng, split_rng
+
+RHO = 0.4
+THETA = 25.0
+SHARES = (0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    repeats = scaled_repeats(3, scale)
+    generator = ensure_rng(seed)
+    config = _pool_config(scale)
+    #: Time constraint: at most 15 % of the objects may be expert-validated.
+    max_validations = max(1, int(0.15 * config.n_objects))
+
+    share_data: dict[float, list[tuple[float, int]]] = {}
+    for stream in split_rng(generator, repeats):
+        crowd = simulate_crowd(config, rng=stream)
+        for point in allocation_curve(crowd, RHO, THETA, SHARES, rng=stream):
+            share_data.setdefault(point.crowd_share, []).append(
+                (point.precision, point.n_validations))
+
+    averaged = []
+    for share, samples in sorted(share_data.items()):
+        precision = float(np.mean([p for p, _ in samples]))
+        time_proxy = float(np.mean([t for _, t in samples]))
+        averaged.append((share, precision, time_proxy))
+
+    # Reconstruct A/B/C from the averaged curve.
+    from repro.costmodel.allocation import AllocationPoint
+    points = [AllocationPoint(share, 0, int(round(t)), p)
+              for share, p, t in averaged]
+    constrained = best_allocation_with_time(points, max_validations)
+
+    rows = []
+    for share, precision, time_proxy in averaged:
+        feasible = time_proxy <= max_validations
+        note = ""
+        if share == constrained.optimum.crowd_share:
+            note = "A (optimum)"
+        elif share == constrained.boundary_share:
+            note = "C (boundary)"
+        rows.append((round(share * 100, 1), precision, time_proxy,
+                     feasible, note))
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Allocation under budget and time constraints (rho=0.4)",
+        columns=["crowd_share_%", "precision", "expert_validations",
+                 "within_time", "point"],
+        rows=rows,
+        metadata={"rho": RHO, "theta": THETA,
+                  "max_validations": max_validations,
+                  "repeats": repeats, "n_objects": config.n_objects,
+                  "seed": seed},
+    )

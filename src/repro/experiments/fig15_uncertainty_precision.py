@@ -1,0 +1,97 @@
+"""Figure 15 (App. B): uncertainty tracks precision.
+
+Sweeps synthetic crowds over worker counts {20, 30, 40}, spammer shares
+{15, 25, 35} %, and reliabilities {0.65, 0.7, 0.75}; for each setting runs
+uncertainty-driven validation to perfect precision and collects
+(normalized uncertainty, precision) pairs along the way. The paper reports
+a Pearson correlation of −0.9461 — strongly negative correlation certifies
+the §4.2 uncertainty as a truthful proxy for result correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    CANDIDATE_LIMIT,
+    ExperimentResult,
+    run_validation,
+    scaled_budget,
+)
+from repro.guidance.information_gain import InformationGainStrategy
+from repro.metrics.evaluation import uncertainty_precision_correlation
+from repro.simulation.crowd import CrowdConfig, simulate_crowd
+from repro.utils.rng import ensure_rng, split_rng
+
+WORKER_COUNTS = (20, 30, 40)
+SPAMMER_SHARES = (0.15, 0.25, 0.35)
+RELIABILITIES = (0.65, 0.70, 0.75)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    generator = ensure_rng(seed)
+    settings = [(k, sigma, r)
+                for k in WORKER_COUNTS
+                for sigma in SPAMMER_SHARES
+                for r in RELIABILITIES]
+    if scale < 1.0:
+        keep = max(3, int(len(settings) * scale))
+        indices = np.linspace(0, len(settings) - 1, keep).astype(int)
+        settings = [settings[i] for i in indices]
+
+    from repro.core.iem import IncrementalEM
+
+    uncertainties: list[float] = []
+    precisions: list[float] = []
+    per_run: list[float] = []
+    rows: list[tuple] = []
+    for (k, sigma, r), stream in zip(settings,
+                                     split_rng(generator, len(settings))):
+        config = CrowdConfig(n_objects=50, n_workers=k, reliability=r
+                             ).with_spammer_fraction(sigma)
+        crowd = simulate_crowd(config, rng=stream)
+        budget = scaled_budget(50, scale)
+        report = run_validation(
+            crowd.answer_set, crowd.gold,
+            InformationGainStrategy(candidate_limit=CANDIDATE_LIMIT),
+            budget, stream,
+            # Laplace smoothing keeps the aggregation honest about its
+            # confidence; the saturated default makes uncertainty a poor
+            # signal in exactly the flip-prone regimes this figure probes.
+            aggregator=IncrementalEM(smoothing=1.0))
+        # The paper normalizes by the run's maximum uncertainty; with a
+        # sharply-converged EM that amplifies sub-nat fluctuations of
+        # near-perfect runs, so we normalize by the global maximum
+        # n·log(m) instead (documented deviation — same axis semantics).
+        u = report.uncertainties()
+        n_objects = crowd.answer_set.n_objects
+        normalized = (u / (n_objects * np.log(2)))
+        p = report.precisions()
+        uncertainties.extend(normalized.tolist())
+        precisions.extend(p.tolist())
+        run_corr = uncertainty_precision_correlation(normalized, p)
+        if not np.isnan(run_corr):
+            per_run.append(float(run_corr))
+        rows.append((k, sigma, r, round(float(p[0]), 4),
+                     round(float(p[-1]), 4),
+                     round(float(run_corr), 4) if not np.isnan(run_corr)
+                     else float("nan")))
+
+    pooled = uncertainty_precision_correlation(
+        np.array(uncertainties), np.array(precisions))
+    mean_per_run = float(np.mean(per_run)) if per_run else float("nan")
+    rows.append(("pearson_pooled", "", "", "", "",
+                 round(float(pooled), 4)))
+    rows.append(("pearson_mean_per_run", "", "", "", "",
+                 round(mean_per_run, 4)))
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Uncertainty vs precision sweep (Pearson rows at the end)",
+        columns=["workers", "spammer_share", "reliability",
+                 "initial_precision", "final_precision", "pearson"],
+        rows=rows,
+        metadata={"n_settings": len(settings),
+                  "pearson_pooled": round(float(pooled), 4),
+                  "pearson_mean_per_run": round(mean_per_run, 4),
+                  "smoothing": 1.0, "seed": seed},
+    )

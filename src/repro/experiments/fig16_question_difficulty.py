@@ -1,0 +1,20 @@
+"""Figure 16 (App. C): effect of question difficulty — twt vs art.
+
+Identical protocol to Figure 10 on the easy (twt) and hard (art) datasets.
+The reproduced shape: hybrid beats the baseline on both, and the same
+effort buys more precision on the easy dataset than on the hard one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_guidance
+from repro.experiments.common import ExperimentResult
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = fig10_guidance.run(scale=scale, seed=seed,
+                                datasets=("twt", "art"))
+    result.experiment_id = "fig16"
+    result.title = ("Question difficulty: hybrid vs baseline on twt (easy) "
+                    "and art (hard)")
+    return result

@@ -1,0 +1,52 @@
+"""Figure 20: effect of the spammer share (App. C).
+
+Synthetic 50×20 crowds with spammer shares σ ∈ {15, 25, 35} %. Reproduced
+shapes: hybrid dominates the baseline at every σ, and its *relative*
+precision improvement is roughly stable across spammer shares — the
+robustness-to-spammers claim.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_STRATEGIES,
+    EFFORT_GRID,
+    ExperimentResult,
+    guidance_comparison,
+    scaled_budget,
+    scaled_repeats,
+)
+from repro.simulation.crowd import CrowdConfig, simulate_crowd
+from repro.utils.rng import ensure_rng
+
+SPAMMER_SHARES = (0.15, 0.25, 0.35)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    repeats = scaled_repeats(3, scale)
+    generator = ensure_rng(seed)
+    rows: list[tuple] = []
+    meta: dict[str, object] = {"repeats": repeats, "seed": seed}
+    for sigma in SPAMMER_SHARES:
+        config = CrowdConfig(n_objects=50, n_workers=20, reliability=0.7
+                             ).with_spammer_fraction(sigma)
+        crowd = simulate_crowd(config, rng=generator)
+        budget = scaled_budget(50, scale)
+        curves = guidance_comparison(
+            crowd.answer_set, crowd.gold, DEFAULT_STRATEGIES,
+            repeats, budget, generator)
+        p0 = float(curves["__initial__"][0])
+        for i, effort in enumerate(EFFORT_GRID):
+            hybrid = float(curves["hybrid"][i])
+            rows.append((int(sigma * 100), round(float(effort) * 100, 1),
+                         float(curves["baseline"][i]), hybrid,
+                         (hybrid - p0) / max(1e-9, 1.0 - p0) * 100.0))
+        meta[f"sigma{int(sigma * 100)}_initial"] = round(p0, 4)
+    return ExperimentResult(
+        experiment_id="fig20",
+        title="Effect of spammer share: hybrid vs baseline precision",
+        columns=["spammer_%", "effort_%", "baseline_precision",
+                 "hybrid_precision", "hybrid_improvement_%"],
+        rows=rows,
+        metadata=meta,
+    )

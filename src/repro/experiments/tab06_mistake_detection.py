@@ -1,0 +1,70 @@
+"""Table 6: percentage of detected expert mistakes (§6.7).
+
+For every dataset and mistake probability p ∈ {0.15, 0.20, 0.25, 0.30},
+runs the validation process with a noisy expert and the confirmation check
+every 1 % of validations, then reports what share of the injected mistakes
+the check caught (i.e., flagged for reconsideration). The paper detects
+essentially all mistakes at p = 0.15 and 80–100 % at p = 0.30.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentResult,
+    baseline_strategy,
+    scaled_budget,
+    scaled_repeats,
+)
+from repro.experts.simulated import NoisyExpert
+from repro.process.goals import AllValidated
+from repro.process.validation_process import ValidationProcess
+from repro.simulation.realworld import DATASET_NAMES, load_dataset
+from repro.utils.rng import ensure_rng, split_rng
+
+PROBABILITIES = (0.15, 0.20, 0.25, 0.30)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    repeats = scaled_repeats(3, scale)
+    generator = ensure_rng(seed)
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name)
+        answers, gold = dataset.answer_set, dataset.gold
+        n = answers.n_objects
+        budget = scaled_budget(n, scale)
+        interval = max(1, n // 100)
+        detected_shares: dict[float, list[float]] = {
+            p: [] for p in PROBABILITIES}
+        for p in PROBABILITIES:
+            for stream in split_rng(generator, repeats):
+                expert = NoisyExpert(gold, answers.n_labels,
+                                     mistake_probability=p, rng=stream)
+                process = ValidationProcess(
+                    answers, expert, strategy=baseline_strategy(),
+                    goal=AllValidated(),
+                    budget=budget + budget // 2,  # headroom for re-elicits
+                    confirmation_interval=interval,
+                    gold=gold, rng=stream)
+                report = process.run()
+                reconsidered = {obj for record in report.records
+                                for obj in record.reconsidered}
+                slips = expert.all_mistakes
+                if not slips:
+                    continue
+                repaired = slips & reconsidered
+                detected_shares[p].append(
+                    len(repaired) / len(slips) * 100.0)
+        rows.append((name, *(
+            float(np.mean(detected_shares[p])) if detected_shares[p]
+            else float("nan")
+            for p in PROBABILITIES)))
+    return ExperimentResult(
+        experiment_id="tab06",
+        title="Detected expert mistakes (%) by mistake probability",
+        columns=["dataset", "p=0.15", "p=0.20", "p=0.25", "p=0.30"],
+        rows=rows,
+        metadata={"repeats": repeats, "seed": seed},
+    )

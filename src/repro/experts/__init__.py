@@ -1,0 +1,20 @@
+"""Validating experts and the erroneous-validation confirmation check."""
+
+from repro.experts.confirmation import ConfirmationCheck, ConfirmationReport
+from repro.experts.simulated import (
+    CallbackExpert,
+    Expert,
+    NoisyExpert,
+    OracleExpert,
+    ScriptedExpert,
+)
+
+__all__ = [
+    "CallbackExpert",
+    "ConfirmationCheck",
+    "ConfirmationReport",
+    "Expert",
+    "NoisyExpert",
+    "OracleExpert",
+    "ScriptedExpert",
+]

@@ -1,0 +1,173 @@
+"""Validating experts (paper §2, §5.5, §6.7).
+
+An expert maps an object to its asserted label. The evaluation mimics the
+expert with the datasets' ground truth (§6.6); the robustness experiments
+additionally inject mistakes with a given probability, biased toward the
+empirically dominant error type — wrongly *confirming* an incorrect
+aggregated answer (§6.7). An interactive expert wraps standard input so the
+validation process doubles as a human-in-the-loop CLI tool.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ExpertError
+from repro.utils.rng import ensure_rng
+
+
+class Expert(abc.ABC):
+    """Source of answer validations."""
+
+    @abc.abstractmethod
+    def validate(self, obj: int, context: Mapping[str, object] | None = None,
+                 ) -> int:
+        """Return the expert's label code for object ``obj``.
+
+        Parameters
+        ----------
+        context:
+            Optional presentation hints: the process passes the current
+            aggregated label and beliefs (``{"aggregated": code,
+            "beliefs": array}``) so interactive experts can see crowd
+            statistics, and noisy experts can bias mistakes toward wrong
+            confirmations.
+        """
+
+    def reconsider(self, obj: int) -> int:
+        """Re-elicit input after the confirmation check flagged ``obj``.
+
+        The paper assumes interaction slips — not knowledge gaps — cause
+        expert mistakes (§5.5), so reconsidered input defaults to a fresh
+        :meth:`validate` call; the noisy expert overrides this to return the
+        truth.
+        """
+        return self.validate(obj)
+
+
+class OracleExpert(Expert):
+    """Expert that always answers with the ground truth.
+
+    Parameters
+    ----------
+    gold:
+        Length-``n`` vector of correct label codes.
+    """
+
+    def __init__(self, gold: Sequence[int] | np.ndarray) -> None:
+        self._gold = np.asarray(gold, dtype=np.int64)
+        if self._gold.ndim != 1:
+            raise ExpertError(f"gold must be 1-D, got shape {self._gold.shape}")
+
+    @property
+    def gold(self) -> np.ndarray:
+        return self._gold
+
+    def validate(self, obj: int, context: Mapping[str, object] | None = None,
+                 ) -> int:
+        return int(self._gold[obj])
+
+
+class NoisyExpert(Expert):
+    """Oracle that slips with probability ``mistake_probability``.
+
+    Mistake model (§6.7): with probability ``confirm_bias`` a slip *confirms
+    the aggregated answer* when that answer is wrong (the paper's case 2 —
+    empirically the dominant mistake); otherwise (or when no aggregated
+    answer is supplied, or it happens to be correct) the slip is a uniformly
+    random wrong label. :meth:`reconsider` returns the truth — mistakes are
+    interaction slips, so a second look fixes them.
+
+    Parameters
+    ----------
+    gold:
+        Ground-truth label codes.
+    n_labels:
+        Size of the label vocabulary.
+    mistake_probability:
+        Per-validation slip probability ``p``.
+    confirm_bias:
+        Probability that a slip confirms a wrong aggregated answer when one
+        is available.
+    rng:
+        Randomness for slips.
+    """
+
+    def __init__(self,
+                 gold: Sequence[int] | np.ndarray,
+                 n_labels: int,
+                 mistake_probability: float,
+                 confirm_bias: float = 0.8,
+                 rng: np.random.Generator | int | None = None) -> None:
+        if not 0.0 <= mistake_probability <= 1.0:
+            raise ExpertError(
+                f"mistake_probability must be in [0, 1], got {mistake_probability}")
+        if not 0.0 <= confirm_bias <= 1.0:
+            raise ExpertError(
+                f"confirm_bias must be in [0, 1], got {confirm_bias}")
+        self._gold = np.asarray(gold, dtype=np.int64)
+        self._n_labels = int(n_labels)
+        self.mistake_probability = float(mistake_probability)
+        self.confirm_bias = float(confirm_bias)
+        self._rng = ensure_rng(rng)
+        #: Objects whose *current* validation is a slip (reconsideration
+        #: removes entries).
+        self.mistakes: set[int] = set()
+        #: Every object the expert ever slipped on (never removed; used to
+        #: score mistake-detection rates in the Table 6 experiment).
+        self.all_mistakes: set[int] = set()
+
+    def validate(self, obj: int, context: Mapping[str, object] | None = None,
+                 ) -> int:
+        truth = int(self._gold[obj])
+        if self._rng.random() >= self.mistake_probability:
+            return truth
+        wrong = [lab for lab in range(self._n_labels) if lab != truth]
+        if not wrong:
+            return truth
+        self.mistakes.add(int(obj))
+        self.all_mistakes.add(int(obj))
+        aggregated = None if context is None else context.get("aggregated")
+        if (aggregated is not None and int(aggregated) != truth
+                and self._rng.random() < self.confirm_bias):
+            return int(aggregated)
+        return int(self._rng.choice(wrong))
+
+    def reconsider(self, obj: int) -> int:
+        self.mistakes.discard(int(obj))
+        return int(self._gold[obj])
+
+
+class ScriptedExpert(Expert):
+    """Expert that replays a fixed object→label mapping.
+
+    Useful in tests and for replaying recorded validation sessions.
+    """
+
+    def __init__(self, answers: Mapping[int, int]) -> None:
+        self._answers = {int(k): int(v) for k, v in answers.items()}
+
+    def validate(self, obj: int, context: Mapping[str, object] | None = None,
+                 ) -> int:
+        try:
+            return self._answers[int(obj)]
+        except KeyError as exc:
+            raise ExpertError(f"no scripted answer for object {obj}") from exc
+
+
+class CallbackExpert(Expert):
+    """Expert backed by an arbitrary callable ``(obj, context) -> label``.
+
+    The bridge used by the interactive CLI tool in ``examples/``.
+    """
+
+    def __init__(self, callback: Callable[[int, Mapping[str, object] | None], int],
+                 ) -> None:
+        self._callback = callback
+
+    def validate(self, obj: int, context: Mapping[str, object] | None = None,
+                 ) -> int:
+        return int(self._callback(obj, context))

@@ -1,0 +1,117 @@
+"""Common contract for expert-guidance strategies (paper §5).
+
+A strategy implements the ``select`` step of the validation process: given
+the current process state it ranks the unvalidated objects and returns the
+one whose validation is expected to be most beneficial. Strategies are pure
+selectors — they never mutate the state — so the process can freely mix
+them (the hybrid approach draws between two strategies every iteration).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.iem import IncrementalEM
+from repro.core.probabilistic import ProbabilisticAnswerSet
+from repro.errors import GuidanceError
+from repro.workers.spammer_detection import SpammerDetector
+
+
+@dataclass
+class GuidanceContext:
+    """Everything a strategy may consult when selecting an object.
+
+    Attributes
+    ----------
+    prob_set:
+        The current probabilistic answer set ``P_i`` (built over the
+        possibly-masked answer set when faulty workers are being excluded).
+    aggregator:
+        The i-EM aggregator, for look-ahead ``conclude`` calls (Eq. 8).
+    detector:
+        The faulty-worker detector, for expected-detection counts (Eq. 13).
+    rng:
+        Randomness (roulette-wheel draw, tie breaking).
+    hybrid_weight:
+        The dynamic weight ``z_i`` of Eq. 15, maintained by the process.
+    """
+
+    prob_set: ProbabilisticAnswerSet
+    aggregator: IncrementalEM
+    detector: SpammerDetector
+    rng: np.random.Generator
+    hybrid_weight: float = 0.0
+
+    def candidates(self) -> np.ndarray:
+        """Unvalidated object indices — the strategy's choice set."""
+        return self.prob_set.validation.unvalidated_indices()
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A strategy's decision.
+
+    Attributes
+    ----------
+    object_index:
+        The object to put in front of the expert next.
+    strategy:
+        Name of the strategy that made the choice (for the hybrid approach
+        this is the sub-strategy actually used, which Algorithm 1 needs to
+        decide whether to handle detected spammers this round).
+    scores:
+        Optional per-candidate scores, aligned with ``candidate_indices``,
+        for introspection and testing.
+    candidate_indices:
+        The candidates that were scored (may be a pruned subset).
+    """
+
+    object_index: int
+    strategy: str
+    scores: np.ndarray | None = field(default=None, compare=False)
+    candidate_indices: np.ndarray | None = field(default=None, compare=False)
+
+
+class GuidanceStrategy(abc.ABC):
+    """Base class for selection strategies."""
+
+    #: Short machine-readable identifier (used in reports and plots).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, context: GuidanceContext) -> Selection:
+        """Choose the next object to validate.
+
+        Raises
+        ------
+        GuidanceError
+            If no unvalidated objects remain.
+        """
+
+    @staticmethod
+    def _require_candidates(context: GuidanceContext) -> np.ndarray:
+        candidates = context.candidates()
+        if candidates.size == 0:
+            raise GuidanceError("no unvalidated objects left to select")
+        return candidates
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def argmax_with_ties(scores: np.ndarray,
+                     candidates: np.ndarray,
+                     rng: np.random.Generator | None = None) -> int:
+    """Index (into ``candidates``) of the best score; random tie break.
+
+    Deterministic (first maximum) when ``rng`` is None.
+    """
+    scores = np.asarray(scores, dtype=float)
+    best = scores.max()
+    tied = np.flatnonzero(scores >= best - 1e-12)
+    if rng is None or tied.size == 1:
+        return int(candidates[tied[0]])
+    return int(candidates[rng.choice(tied)])

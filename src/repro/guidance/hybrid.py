@@ -1,0 +1,53 @@
+"""Hybrid expert guidance (paper §5.4, Algorithm 1).
+
+Combines the uncertainty-driven and worker-driven strategies with a
+roulette-wheel draw: each iteration, with probability ``z_i`` (the dynamic
+weight of Eq. 15, maintained by the validation process) the worker-driven
+strategy chooses, otherwise the uncertainty-driven one does. Even when
+``z_i`` is large there remains a chance the uncertainty-driven strategy is
+picked — exactly the paper's design.
+"""
+
+from __future__ import annotations
+
+from repro.guidance.base import GuidanceContext, GuidanceStrategy, Selection
+from repro.guidance.information_gain import InformationGainStrategy
+from repro.guidance.worker_driven import WorkerDrivenStrategy
+
+
+class HybridStrategy(GuidanceStrategy):
+    """Roulette-wheel mixture of worker-driven and uncertainty-driven guidance.
+
+    Parameters
+    ----------
+    uncertainty:
+        The uncertainty-driven sub-strategy (default:
+        :class:`~repro.guidance.information_gain.InformationGainStrategy`).
+    worker:
+        The worker-driven sub-strategy (default:
+        :class:`~repro.guidance.worker_driven.WorkerDrivenStrategy`).
+
+    Notes
+    -----
+    The returned :class:`~repro.guidance.base.Selection` carries the name of
+    the sub-strategy actually used; Algorithm 1 (line 12) handles detected
+    spammers only on iterations where the worker-driven branch was drawn.
+    """
+
+    name = "hybrid"
+
+    def __init__(self,
+                 uncertainty: GuidanceStrategy | None = None,
+                 worker: GuidanceStrategy | None = None) -> None:
+        self.uncertainty = uncertainty or InformationGainStrategy()
+        self.worker = worker or WorkerDrivenStrategy()
+
+    def select(self, context: GuidanceContext) -> Selection:
+        draw = float(context.rng.random())
+        if draw < context.hybrid_weight:
+            return self.worker.select(context)
+        return self.uncertainty.select(context)
+
+    def __repr__(self) -> str:
+        return (f"HybridStrategy(uncertainty={self.uncertainty!r}, "
+                f"worker={self.worker!r})")

@@ -1,0 +1,44 @@
+"""Max-entropy baseline guidance (paper §6.6, Appendix C).
+
+Selects the most 'problematic' object: the one whose label distribution has
+the highest Shannon entropy, i.e. the object on the edge of being considered
+right or wrong. The paper uses this as the competitive baseline — it is
+better than random selection, but unlike the proposed strategies it ignores
+the *consequences* of a validation on worker reliability and on the other
+objects.
+"""
+
+from __future__ import annotations
+
+from repro.core.uncertainty import object_entropies
+from repro.guidance.base import (
+    GuidanceContext,
+    GuidanceStrategy,
+    Selection,
+    argmax_with_ties,
+)
+
+
+class MaxEntropyStrategy(GuidanceStrategy):
+    """``select(O) = argmax_o H(o)`` over unvalidated objects.
+
+    Parameters
+    ----------
+    random_ties:
+        Break score ties uniformly at random (default) rather than toward
+        the lowest object index; randomized ties avoid systematically
+        revalidating the front of the object list on symmetric answer sets.
+    """
+
+    name = "baseline"
+
+    def __init__(self, random_ties: bool = True) -> None:
+        self.random_ties = bool(random_ties)
+
+    def select(self, context: GuidanceContext) -> Selection:
+        candidates = self._require_candidates(context)
+        entropies = object_entropies(context.prob_set.assignment)[candidates]
+        rng = context.rng if self.random_ties else None
+        choice = argmax_with_ties(entropies, candidates, rng)
+        return Selection(object_index=choice, strategy=self.name,
+                         scores=entropies, candidate_indices=candidates)

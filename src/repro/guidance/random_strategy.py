@@ -1,0 +1,22 @@
+"""Random object selection — the unguided manual process (paper §3.2).
+
+Emulates a validator working through the answer set with no tooling: each
+iteration validates a uniformly random unvalidated object. The weakest
+baseline; everything else in :mod:`repro.guidance` should beat it.
+"""
+
+from __future__ import annotations
+
+from repro.guidance.base import GuidanceContext, GuidanceStrategy, Selection
+
+
+class RandomStrategy(GuidanceStrategy):
+    """Uniformly random selection among unvalidated objects."""
+
+    name = "random"
+
+    def select(self, context: GuidanceContext) -> Selection:
+        candidates = self._require_candidates(context)
+        choice = int(context.rng.choice(candidates))
+        return Selection(object_index=choice, strategy=self.name,
+                         candidate_indices=candidates)

@@ -1,0 +1,17 @@
+"""File I/O for answer sets (standard response/gold triple files)."""
+
+from repro.io.triples import (
+    load_answer_files,
+    read_gold_file,
+    read_response_file,
+    write_gold_file,
+    write_response_file,
+)
+
+__all__ = [
+    "load_answer_files",
+    "read_gold_file",
+    "read_response_file",
+    "write_gold_file",
+    "write_response_file",
+]

@@ -1,0 +1,123 @@
+"""Reading and writing crowdsourcing answer files.
+
+Supports the de-facto standard exchange format of the public AMT benchmark
+datasets (bluebird, rte, valence, tweet, article, as distributed with
+get-another-label and the SQUARE benchmark):
+
+* **response files** — one ``object <TAB> worker <TAB> label`` triple per
+  line;
+* **gold files** — one ``object <TAB> label`` pair per line.
+
+Any whitespace separates fields; blank lines and ``#`` comments are
+ignored. With the genuine dataset files on disk, ``load_answer_files``
+returns exactly the structures the library's stand-ins emulate.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.answer_set import AnswerSet
+from repro.errors import DatasetError
+
+
+def _parse_lines(path: str | os.PathLike,
+                 n_fields: int) -> list[tuple[str, ...]]:
+    rows: list[tuple[str, ...]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != n_fields:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected {n_fields} fields, "
+                    f"got {len(fields)}: {line!r}")
+            rows.append(tuple(fields))
+    return rows
+
+
+def read_response_file(path: str | os.PathLike) -> list[tuple[str, str, str]]:
+    """Parse an ``object worker label`` response file into triples."""
+    return [(o, w, lab) for o, w, lab in _parse_lines(path, 3)]
+
+
+def read_gold_file(path: str | os.PathLike) -> dict[str, str]:
+    """Parse an ``object label`` gold file into a mapping."""
+    gold: dict[str, str] = {}
+    for obj, label in _parse_lines(path, 2):
+        if obj in gold and gold[obj] != label:
+            raise DatasetError(
+                f"conflicting gold labels for object {obj!r}: "
+                f"{gold[obj]!r} vs {label!r}")
+        gold[obj] = label
+    return gold
+
+
+def load_answer_files(response_path: str | os.PathLike,
+                      gold_path: str | os.PathLike | None = None,
+                      ) -> tuple[AnswerSet, np.ndarray | None]:
+    """Load an answer set (and optional gold vector) from files.
+
+    Returns
+    -------
+    (AnswerSet, gold)
+        ``gold`` is a label-code vector aligned with the answer set's
+        objects, or ``None`` when no gold file is given. Gold labels unseen
+        in the responses extend the label vocabulary; gold objects missing
+        from the responses are an error (they have no answers to validate).
+    """
+    triples = read_response_file(response_path)
+    if not triples:
+        raise DatasetError(f"{response_path}: no answer triples found")
+    if gold_path is None:
+        return AnswerSet.from_triples(triples), None
+
+    gold_map = read_gold_file(gold_path)
+    labels: list[str] = []
+    for *_, label in triples:
+        if label not in labels:
+            labels.append(label)
+    for label in gold_map.values():
+        if label not in labels:
+            labels.append(label)
+    answer_set = AnswerSet.from_triples(triples, labels=labels)
+    unknown = set(gold_map) - set(answer_set.objects)
+    if unknown:
+        raise DatasetError(
+            f"gold file refers to objects absent from the responses: "
+            f"{sorted(unknown)[:5]}…" if len(unknown) > 5 else
+            f"gold file refers to objects absent from the responses: "
+            f"{sorted(unknown)}")
+    gold = np.full(answer_set.n_objects, -1, dtype=np.int64)
+    for obj, label in gold_map.items():
+        gold[answer_set.object_index(obj)] = answer_set.label_index(label)
+    if np.any(gold < 0):
+        missing = [answer_set.objects[i] for i in np.flatnonzero(gold < 0)][:5]
+        raise DatasetError(f"gold file misses labels for objects {missing}")
+    return answer_set, gold
+
+
+def write_response_file(path: str | os.PathLike,
+                        answer_set: AnswerSet) -> None:
+    """Write an answer set as an ``object worker label`` response file."""
+    matrix = answer_set.matrix
+    with open(path, "w", encoding="utf-8") as handle:
+        rows, cols = np.nonzero(matrix != -1)
+        for i, j in zip(rows, cols):
+            handle.write(f"{answer_set.objects[i]}\t"
+                         f"{answer_set.workers[j]}\t"
+                         f"{answer_set.labels[matrix[i, j]]}\n")
+
+
+def write_gold_file(path: str | os.PathLike,
+                    answer_set: AnswerSet,
+                    gold: Iterable[int]) -> None:
+    """Write a gold-label vector as an ``object label`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for obj, code in zip(answer_set.objects, gold):
+            handle.write(f"{obj}\t{answer_set.labels[int(code)]}\n")

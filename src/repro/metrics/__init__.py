@@ -1,0 +1,21 @@
+"""Evaluation metrics from §6.1 and the appendix analyses."""
+
+from repro.metrics.evaluation import (
+    area_under_curve,
+    average_curves,
+    interpolate_curve,
+    precision,
+    precision_improvement,
+    relative_effort,
+    uncertainty_precision_correlation,
+)
+
+__all__ = [
+    "area_under_curve",
+    "average_curves",
+    "interpolate_curve",
+    "precision",
+    "precision_improvement",
+    "relative_effort",
+    "uncertainty_precision_correlation",
+]

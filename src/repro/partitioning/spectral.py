@@ -1,0 +1,73 @@
+"""Spectral bisection — the graph-partitioning kernel (paper §5.4, [28]).
+
+The paper orders/partitions sparse answer matrices with METIS; this module
+substitutes the classical spectral method: split a graph by the sign
+structure of the Fiedler vector (the eigenvector of the second-smallest
+Laplacian eigenvalue), using the *median* of the vector as the cut point so
+the two halves stay balanced. A deterministic degree-sort fallback covers
+the rare eigensolver failures on tiny or pathological graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+from scipy.sparse.linalg import ArpackNoConvergence, eigsh
+
+from repro.errors import PartitioningError
+
+
+def fiedler_vector(adjacency: sparse.spmatrix,
+                   seed: int = 0) -> np.ndarray:
+    """Second-smallest-eigenvalue eigenvector of the graph Laplacian.
+
+    Uses shift-invert Lanczos, which converges quickly for the small
+    eigenvalues of sparse Laplacians; the start vector is seeded for
+    deterministic output.
+    """
+    n = adjacency.shape[0]
+    if n < 2:
+        raise PartitioningError("Fiedler vector needs at least two nodes")
+    laplacian = csgraph.laplacian(adjacency.astype(float), normed=False)
+    rng = np.random.default_rng(seed)
+    v0 = rng.standard_normal(n)
+    try:
+        _, vectors = eigsh(laplacian.tocsc(), k=2, sigma=-1e-6, which="LM",
+                           v0=v0, maxiter=5000)
+    except (ArpackNoConvergence, RuntimeError) as exc:
+        raise PartitioningError(f"Fiedler computation failed: {exc}") from exc
+    return vectors[:, 1]
+
+
+def spectral_bisect(adjacency: sparse.spmatrix,
+                    seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Split node indices into two balanced halves by the Fiedler vector.
+
+    Nodes are ordered by their Fiedler component and cut at the median, so
+    the halves differ by at most one node; this is the balanced variant of
+    the spectral sign cut, matching METIS's balance objective. Falls back
+    to a degree-ordered split when the eigensolver fails.
+    """
+    n = adjacency.shape[0]
+    if n < 2:
+        raise PartitioningError("cannot bisect fewer than two nodes")
+    try:
+        order = np.argsort(fiedler_vector(adjacency, seed), kind="stable")
+    except PartitioningError:
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        order = np.argsort(degrees, kind="stable")
+    half = n // 2
+    left = np.sort(order[:half])
+    right = np.sort(order[half:])
+    return left, right
+
+
+def connected_components(adjacency: sparse.spmatrix,
+                         ) -> list[np.ndarray]:
+    """Connected components as sorted index arrays, largest first."""
+    n_components, labels = csgraph.connected_components(adjacency,
+                                                        directed=False)
+    components = [np.flatnonzero(labels == c) for c in range(n_components)]
+    components.sort(key=len, reverse=True)
+    return components

@@ -1,0 +1,26 @@
+"""The answer-validation process (Algorithm 1) and its support types."""
+
+from repro.process.faulty_filter import FaultyWorkerFilter
+from repro.process.goals import (
+    AllValidated,
+    NeverSatisfied,
+    PrecisionReached,
+    UncertaintyBelow,
+    ValidationGoal,
+)
+from repro.process.report import StepRecord, ValidationReport
+from repro.process.validation_process import ValidationProcess
+from repro.process.weighting import dynamic_weight
+
+__all__ = [
+    "AllValidated",
+    "FaultyWorkerFilter",
+    "NeverSatisfied",
+    "PrecisionReached",
+    "StepRecord",
+    "UncertaintyBelow",
+    "ValidationGoal",
+    "ValidationProcess",
+    "ValidationReport",
+    "dynamic_weight",
+]

@@ -1,0 +1,102 @@
+"""Validation goals Δ (paper §3.2, §5.1).
+
+A goal is a stopping predicate over the running validation process. The
+paper grounds goals in the uncertainty of the probabilistic answer set;
+experiments additionally use an oracle precision goal ("validate until the
+deterministic assignment is perfect") to measure effort, and a budget bound
+is always in force as the second stopping condition of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.core.uncertainty import answer_set_uncertainty, normalized_uncertainty
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.process.validation_process import ValidationProcess
+
+
+class ValidationGoal(abc.ABC):
+    """Stopping condition evaluated after every validation iteration."""
+
+    @abc.abstractmethod
+    def satisfied(self, process: "ValidationProcess") -> bool:
+        """Whether the goal Δ holds for the current process state."""
+
+    def __and__(self, other: "ValidationGoal") -> "ValidationGoal":
+        return _CombinedGoal([self, other], require_all=True)
+
+    def __or__(self, other: "ValidationGoal") -> "ValidationGoal":
+        return _CombinedGoal([self, other], require_all=False)
+
+
+class _CombinedGoal(ValidationGoal):
+    """Conjunction/disjunction of goals built by ``&`` / ``|``."""
+
+    def __init__(self, goals: list[ValidationGoal], require_all: bool) -> None:
+        self._goals = list(goals)
+        self._require_all = require_all
+
+    def satisfied(self, process: "ValidationProcess") -> bool:
+        results = (goal.satisfied(process) for goal in self._goals)
+        return all(results) if self._require_all else any(results)
+
+
+class UncertaintyBelow(ValidationGoal):
+    """Stop once the answer-set uncertainty H(P) falls below a threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Entropy bound. Interpreted against the normalized uncertainty
+        (``H(P) / (n log m)`` in [0, 1]) when ``normalized`` is true,
+        against the raw sum of object entropies otherwise.
+    """
+
+    def __init__(self, threshold: float, normalized: bool = True) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = float(threshold)
+        self.normalized = bool(normalized)
+
+    def satisfied(self, process: "ValidationProcess") -> bool:
+        prob_set = process.prob_set
+        value = (normalized_uncertainty(prob_set) if self.normalized
+                 else answer_set_uncertainty(prob_set))
+        return value <= self.threshold
+
+
+class PrecisionReached(ValidationGoal):
+    """Oracle goal: stop once precision against gold reaches ``target``.
+
+    Requires the process to have been given a gold standard; the evaluation
+    uses ``PrecisionReached(1.0)`` to measure effort-to-perfect-correctness.
+    """
+
+    def __init__(self, target: float = 1.0) -> None:
+        if not 0.0 <= target <= 1.0:
+            raise ValueError(f"target must be in [0, 1], got {target}")
+        self.target = float(target)
+
+    def satisfied(self, process: "ValidationProcess") -> bool:
+        precision = process.current_precision()
+        if precision is None:
+            raise ValueError(
+                "PrecisionReached requires the process to have gold labels")
+        return precision >= self.target
+
+
+class AllValidated(ValidationGoal):
+    """Stop when every object has received expert input."""
+
+    def satisfied(self, process: "ValidationProcess") -> bool:
+        return process.validation.count >= process.answer_set.n_objects
+
+
+class NeverSatisfied(ValidationGoal):
+    """Run until the budget is exhausted (pure budget-bound processes)."""
+
+    def satisfied(self, process: "ValidationProcess") -> bool:
+        return False

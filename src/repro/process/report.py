@@ -1,0 +1,202 @@
+"""Run records and reports for the validation process (paper §6.1 metrics).
+
+Every iteration of Algorithm 1 appends a :class:`StepRecord`; a finished run
+yields a :class:`ValidationReport` exposing the paper's evaluation curves —
+precision ``P_i``, relative expert effort ``E_i = i/n``, percentage of
+precision improvement ``R_i = (P_i − P_0)/(1 − P_0)``, and answer-set
+uncertainty — plus summary helpers like effort-to-reach-precision.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One iteration of the validation process.
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration counter ``i``.
+    object_index:
+        The object validated this iteration.
+    expert_label:
+        The label the expert asserted.
+    strategy:
+        Name of the (sub-)strategy that made the selection.
+    hybrid_weight:
+        The ``z_i`` in force when the roulette wheel was spun.
+    error_rate:
+        ``ε_i = 1 − U_{i−1}(o, l)``.
+    spammer_ratio:
+        Detected-faulty fraction ``r_i`` after this iteration's detection.
+    n_suspected:
+        Size of the suspect set after (possible) handling.
+    uncertainty:
+        ``H(P_i)`` after integrating the validation.
+    precision:
+        ``P_i`` against gold (``nan`` when no gold available).
+    effort:
+        Cumulative expert effort including confirmation-check
+        reconsiderations.
+    em_iterations:
+        EM iterations the ``conclude`` of this step needed.
+    elapsed_seconds:
+        Wall-clock duration of the full iteration (selection + conclude).
+    reconsidered:
+        Objects re-elicited by the confirmation check this iteration.
+    """
+
+    iteration: int
+    object_index: int
+    expert_label: int
+    strategy: str
+    hybrid_weight: float
+    error_rate: float
+    spammer_ratio: float
+    n_suspected: int
+    uncertainty: float
+    precision: float
+    effort: int
+    em_iterations: int
+    elapsed_seconds: float = 0.0
+    reconsidered: tuple[int, ...] = ()
+
+
+@dataclass
+class ValidationReport:
+    """Complete trace of a validation run.
+
+    Attributes
+    ----------
+    n_objects:
+        Number of objects in the answer set.
+    initial_precision:
+        ``P_0`` before any expert input (``nan`` without gold).
+    initial_uncertainty:
+        ``H(P_0)``.
+    records:
+        Per-iteration records in order.
+    goal_reached:
+        Whether the validation goal stopped the run (vs. budget/exhaustion).
+    """
+
+    n_objects: int
+    initial_precision: float
+    initial_uncertainty: float
+    records: list[StepRecord] = field(default_factory=list)
+    goal_reached: bool = False
+
+    # ------------------------------------------------------------------
+    # Curves (all include the i=0 point so they align with paper plots)
+    # ------------------------------------------------------------------
+    def efforts(self, relative: bool = True) -> np.ndarray:
+        """Cumulative expert efforts ``E_i`` (relative to n by default)."""
+        raw = np.array([0] + [record.effort for record in self.records],
+                       dtype=float)
+        return raw / self.n_objects if relative else raw
+
+    def precisions(self) -> np.ndarray:
+        """Precision curve ``P_0, P_1, …``."""
+        return np.array([self.initial_precision]
+                        + [record.precision for record in self.records])
+
+    def uncertainties(self) -> np.ndarray:
+        """Uncertainty curve ``H(P_0), H(P_1), …``."""
+        return np.array([self.initial_uncertainty]
+                        + [record.uncertainty for record in self.records])
+
+    def improvements(self) -> np.ndarray:
+        """Percentage-of-precision-improvement curve ``R_i`` in [0, 1].
+
+        ``R_i = (P_i − P_0) / (1 − P_0)``; defined as 1 when ``P_0 = 1``.
+        """
+        precisions = self.precisions()
+        p0 = self.initial_precision
+        if np.isnan(p0):
+            return np.full_like(precisions, np.nan)
+        if p0 >= 1.0:
+            return np.ones_like(precisions)
+        return (precisions - p0) / (1.0 - p0)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def total_effort(self) -> int:
+        """Total expert interactions (validations + reconsiderations)."""
+        return self.records[-1].effort if self.records else 0
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.records)
+
+    def final_precision(self) -> float:
+        return float(self.precisions()[-1])
+
+    def effort_to_reach_precision(self, target: float,
+                                  relative: bool = True) -> float:
+        """Smallest effort at which precision first reaches ``target``.
+
+        Returns ``nan`` if the run never reached the target — callers should
+        treat that as "more than the observed budget".
+        """
+        precisions = self.precisions()
+        efforts = self.efforts(relative=relative)
+        reached = np.flatnonzero(precisions >= target - 1e-12)
+        if reached.size == 0:
+            return float("nan")
+        return float(efforts[reached[0]])
+
+    def precision_at_effort(self, effort: float) -> float:
+        """Precision after the largest effort ≤ ``effort`` (relative)."""
+        efforts = self.efforts(relative=True)
+        precisions = self.precisions()
+        eligible = np.flatnonzero(efforts <= effort + 1e-12)
+        return float(precisions[eligible[-1]]) if eligible.size else float("nan")
+
+    def strategy_usage(self) -> dict[str, int]:
+        """How many iterations each (sub-)strategy selected the object."""
+        usage: dict[str, int] = {}
+        for record in self.records:
+            usage[record.strategy] = usage.get(record.strategy, 0) + 1
+        return usage
+
+    def mean_step_seconds(self) -> float:
+        """Average wall-clock response time per iteration (Figure 4)."""
+        if not self.records:
+            return float("nan")
+        return float(np.mean([r.elapsed_seconds for r in self.records]))
+
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialize the per-iteration records as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([
+            "iteration", "object_index", "expert_label", "strategy",
+            "hybrid_weight", "error_rate", "spammer_ratio", "n_suspected",
+            "uncertainty", "precision", "effort", "em_iterations",
+            "elapsed_seconds",
+        ])
+        for r in self.records:
+            writer.writerow([
+                r.iteration, r.object_index, r.expert_label, r.strategy,
+                f"{r.hybrid_weight:.6f}", f"{r.error_rate:.6f}",
+                f"{r.spammer_ratio:.6f}", r.n_suspected,
+                f"{r.uncertainty:.6f}", f"{r.precision:.6f}", r.effort,
+                r.em_iterations, f"{r.elapsed_seconds:.6f}",
+            ])
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        return (f"ValidationReport(iterations={self.n_iterations}, "
+                f"effort={self.total_effort}, "
+                f"final_precision={self.final_precision():.4f}, "
+                f"goal_reached={self.goal_reached})")

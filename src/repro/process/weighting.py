@@ -1,0 +1,42 @@
+"""Dynamic weighting between guidance strategies (paper §5.4, Eq. 15).
+
+The score ``z_i = 1 − exp(−(ε_i · (1 − f_i) + r_i · f_i))`` mediates between
+the error rate of the deterministic assignment (``ε_i``, dominant while few
+validations exist) and the detected-spammer ratio (``r_i``, dominant once
+the validated fraction ``f_i`` grows). The validation process recomputes it
+every iteration and the hybrid strategy compares it with a uniform draw.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.checks import check_fraction
+
+
+def dynamic_weight(error_rate: float,
+                   spammer_ratio: float,
+                   validation_ratio: float) -> float:
+    """Eq. 15: normalized score for choosing the worker-driven strategy.
+
+    Parameters
+    ----------
+    error_rate:
+        ``ε_i = 1 − U_{i−1}(o, l)``: how surprised the previous belief state
+        is by the newest expert input.
+    spammer_ratio:
+        ``r_i``: fraction of the community currently detected as faulty.
+    validation_ratio:
+        ``f_i = i / |O|``: fraction of objects validated so far.
+
+    Returns
+    -------
+    float
+        ``z_{i+1} ∈ [0, 1)``.
+    """
+    error_rate = check_fraction(error_rate, "error_rate")
+    spammer_ratio = check_fraction(spammer_ratio, "spammer_ratio")
+    validation_ratio = check_fraction(validation_ratio, "validation_ratio")
+    exponent = (error_rate * (1.0 - validation_ratio)
+                + spammer_ratio * validation_ratio)
+    return 1.0 - math.exp(-exponent)

@@ -1,0 +1,49 @@
+"""Crowd simulation and dataset stand-ins (paper Appendix A)."""
+
+from repro.simulation.crowd import (
+    CrowdConfig,
+    SimulatedCrowd,
+    allocate_types,
+    restore_answers,
+    simulate_crowd,
+    subsample_per_object,
+)
+from repro.simulation.profiles import (
+    apply_difficulty,
+    confusion_for_type,
+    normal_confusion,
+    random_spammer_confusion,
+    reliable_confusion,
+    sloppy_confusion,
+    uniform_spammer_confusion,
+)
+from repro.simulation.realworld import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    Dataset,
+    DatasetSpec,
+    dataset_statistics,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DATASET_SPECS",
+    "CrowdConfig",
+    "Dataset",
+    "DatasetSpec",
+    "SimulatedCrowd",
+    "allocate_types",
+    "apply_difficulty",
+    "confusion_for_type",
+    "dataset_statistics",
+    "load_dataset",
+    "normal_confusion",
+    "random_spammer_confusion",
+    "reliable_confusion",
+    "restore_answers",
+    "simulate_crowd",
+    "sloppy_confusion",
+    "subsample_per_object",
+    "uniform_spammer_confusion",
+]

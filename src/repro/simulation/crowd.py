@@ -1,0 +1,287 @@
+"""The crowd simulator (paper Appendix A).
+
+Generates synthetic crowdsourcing campaigns with controlled characteristics:
+``n`` objects, ``k`` workers, ``m`` labels, normal-worker reliability ``r``,
+a worker-type population mix (default: 43 % normal, 32 % sloppy, 25 %
+spammers, after [29]), per-object question difficulty, and sparsity (answers
+per object / per worker). The simulated gold standard is carried alongside
+the answers — hidden from every algorithm, used only to mimic the validating
+expert and to score precision.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.answer_set import MISSING, AnswerSet
+from repro.errors import DatasetError
+from repro.simulation.profiles import apply_difficulty, confusion_for_type
+from repro.utils.checks import check_fraction, check_positive_int
+from repro.utils.rng import ensure_rng
+from repro.workers.types import DEFAULT_POPULATION, WorkerType
+
+
+@dataclass(frozen=True)
+class CrowdConfig:
+    """Parameters of a simulated crowdsourcing campaign.
+
+    Attributes
+    ----------
+    n_objects, n_workers, n_labels:
+        Campaign dimensions (the paper's ``n``, ``k``, ``m``).
+    reliability:
+        Accuracy of *normal* workers (the experiments' ``r``).
+    population:
+        Worker-type mix; fractions are normalized and converted to integer
+        counts by largest remainder, so small crowds match the mix as
+        closely as arithmetic allows.
+    answers_per_object:
+        When set, each object receives exactly this many answers from
+        distinct, randomly chosen workers (the ``φ`` of §6.8); ``None``
+        means every worker answers every object (dense, like bluebird).
+    max_answers_per_worker:
+        When set, caps each worker's answer count; used to generate the
+        sparse matrices of Table 5. Mutually exclusive with
+        ``answers_per_object``.
+    difficulty:
+        Scalar in [0, 1] (or per-object array) tempering honest workers
+        toward random guessing on hard questions.
+    label_priors:
+        Gold-label distribution (uniform by default).
+    """
+
+    n_objects: int
+    n_workers: int
+    n_labels: int = 2
+    reliability: float = 0.65
+    population: Mapping[WorkerType, float] = field(
+        default_factory=lambda: dict(DEFAULT_POPULATION))
+    answers_per_object: int | None = None
+    max_answers_per_worker: int | None = None
+    difficulty: float = 0.0
+    label_priors: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_objects, "n_objects")
+        check_positive_int(self.n_workers, "n_workers")
+        check_positive_int(self.n_labels, "n_labels")
+        check_fraction(self.reliability, "reliability")
+        if self.answers_per_object is not None \
+                and self.max_answers_per_worker is not None:
+            raise DatasetError("answers_per_object and max_answers_per_worker "
+                               "are mutually exclusive")
+        if self.answers_per_object is not None \
+                and not 1 <= self.answers_per_object <= self.n_workers:
+            raise DatasetError(
+                f"answers_per_object must be in [1, {self.n_workers}], "
+                f"got {self.answers_per_object}")
+        if self.max_answers_per_worker is not None \
+                and self.max_answers_per_worker < 1:
+            raise DatasetError("max_answers_per_worker must be >= 1")
+
+    def with_spammer_fraction(self, sigma: float) -> "CrowdConfig":
+        """Copy with the spammer share set to ``sigma`` (the σ of App. C).
+
+        The non-spammer mass keeps the normal:sloppy proportion of the
+        current population; spammers stay evenly split uniform/random.
+        """
+        check_fraction(sigma, "sigma")
+        current = dict(self.population)
+        normal = current.get(WorkerType.NORMAL, 0.0) \
+            + current.get(WorkerType.RELIABLE, 0.0)
+        sloppy = current.get(WorkerType.SLOPPY, 0.0)
+        honest_total = normal + sloppy
+        if honest_total <= 0:
+            normal_share, sloppy_share = 1.0, 0.0
+        else:
+            normal_share = normal / honest_total
+            sloppy_share = sloppy / honest_total
+        population = {
+            WorkerType.NORMAL: (1.0 - sigma) * normal_share,
+            WorkerType.SLOPPY: (1.0 - sigma) * sloppy_share,
+            WorkerType.UNIFORM_SPAMMER: sigma / 2.0,
+            WorkerType.RANDOM_SPAMMER: sigma / 2.0,
+        }
+        return replace(self, population=population)
+
+
+@dataclass(frozen=True)
+class SimulatedCrowd:
+    """A generated campaign: answers plus (hidden) ground truth.
+
+    Attributes
+    ----------
+    answer_set:
+        The observable crowd answers.
+    gold:
+        True label per object (what the expert will assert).
+    worker_types:
+        True type of each worker.
+    true_confusions:
+        The generating ``k × m × m`` confusion matrices.
+    config:
+        The generating configuration.
+    """
+
+    answer_set: AnswerSet
+    gold: np.ndarray
+    worker_types: tuple[WorkerType, ...]
+    true_confusions: np.ndarray
+    config: CrowdConfig
+
+    @property
+    def faulty_mask(self) -> np.ndarray:
+        """Boolean mask over workers: true for sloppy workers and spammers."""
+        return np.array([t.is_faulty for t in self.worker_types])
+
+    @property
+    def spammer_mask(self) -> np.ndarray:
+        """Boolean mask over workers: true for uniform/random spammers."""
+        return np.array([t.is_spammer for t in self.worker_types])
+
+
+def allocate_types(population: Mapping[WorkerType, float],
+                   n_workers: int) -> list[WorkerType]:
+    """Convert type fractions into integer counts by largest remainder."""
+    items = [(t, max(0.0, float(f))) for t, f in population.items() if f > 0]
+    if not items:
+        raise DatasetError("population mix has no positive fractions")
+    total = sum(f for _, f in items)
+    quotas = [(t, f / total * n_workers) for t, f in items]
+    counts = {t: int(q) for t, q in quotas}
+    remainder = n_workers - sum(counts.values())
+    by_fraction = sorted(quotas, key=lambda item: item[1] - int(item[1]),
+                         reverse=True)
+    for t, _ in by_fraction[:remainder]:
+        counts[t] += 1
+    types: list[WorkerType] = []
+    for t, _ in items:
+        types.extend([t] * counts[t])
+    return types[:n_workers]
+
+
+def _answer_mask(config: CrowdConfig, rng: np.random.Generator) -> np.ndarray:
+    """Boolean ``n × k`` mask of which (object, worker) cells get answers."""
+    n, k = config.n_objects, config.n_workers
+    if config.answers_per_object is not None:
+        mask = np.zeros((n, k), dtype=bool)
+        for i in range(n):
+            chosen = rng.choice(k, size=config.answers_per_object,
+                                replace=False)
+            mask[i, chosen] = True
+        return mask
+    if config.max_answers_per_worker is not None:
+        mask = np.zeros((n, k), dtype=bool)
+        per_worker = min(config.max_answers_per_worker, n)
+        for j in range(k):
+            chosen = rng.choice(n, size=per_worker, replace=False)
+            mask[chosen, j] = True
+        return mask
+    return np.ones((n, k), dtype=bool)
+
+
+def simulate_crowd(config: CrowdConfig,
+                   rng: np.random.Generator | int | None = None,
+                   ) -> SimulatedCrowd:
+    """Generate a synthetic campaign per Appendix A.
+
+    Examples
+    --------
+    >>> crowd = simulate_crowd(CrowdConfig(n_objects=20, n_workers=10), rng=0)
+    >>> crowd.answer_set.n_objects, crowd.answer_set.n_workers
+    (20, 10)
+    >>> bool(crowd.faulty_mask.any())
+    True
+    """
+    generator = ensure_rng(rng)
+    n, k, m = config.n_objects, config.n_workers, config.n_labels
+
+    priors = (np.full(m, 1.0 / m) if config.label_priors is None
+              else np.asarray(config.label_priors, dtype=float))
+    priors = priors / priors.sum()
+    gold = generator.choice(m, size=n, p=priors)
+
+    types = allocate_types(config.population, k)
+    generator.shuffle(types)
+    confusions = np.stack([
+        confusion_for_type(t, m, config.reliability, generator)
+        for t in types
+    ])
+
+    difficulty = np.broadcast_to(
+        np.asarray(config.difficulty, dtype=float), (n,))
+    mask = _answer_mask(config, generator)
+
+    matrix = np.full((n, k), MISSING, dtype=np.int64)
+    for j, worker_type in enumerate(types):
+        answered = np.flatnonzero(mask[:, j])
+        if answered.size == 0:
+            continue
+        for i in answered:
+            conf = confusions[j]
+            if not worker_type.is_spammer and difficulty[i] > 0:
+                conf = apply_difficulty(conf, float(difficulty[i]))
+            matrix[i, j] = generator.choice(m, p=conf[gold[i]])
+
+    answer_set = AnswerSet(matrix, labels=tuple(f"l{c + 1}" for c in range(m)))
+    return SimulatedCrowd(
+        answer_set=answer_set,
+        gold=gold,
+        worker_types=tuple(types),
+        true_confusions=confusions,
+        config=config,
+    )
+
+
+def subsample_per_object(crowd: SimulatedCrowd,
+                         answers_per_object: int,
+                         rng: np.random.Generator | int | None = None,
+                         ) -> AnswerSet:
+    """Randomly thin a campaign to ``answers_per_object`` answers per object.
+
+    The Appendix D protocol: remove answers at random until each question
+    keeps ``φ₀`` answers. The WO strategy then "buys back" the removed
+    answers via :func:`restore_answers`.
+    """
+    check_positive_int(answers_per_object, "answers_per_object")
+    generator = ensure_rng(rng)
+    matrix = np.array(crowd.answer_set.matrix, copy=True)
+    for i in range(matrix.shape[0]):
+        answered = np.flatnonzero(matrix[i] != MISSING)
+        excess = answered.size - answers_per_object
+        if excess > 0:
+            drop = generator.choice(answered, size=excess, replace=False)
+            matrix[i, drop] = MISSING
+    return AnswerSet(matrix, crowd.answer_set.labels,
+                     crowd.answer_set.objects, crowd.answer_set.workers)
+
+
+def restore_answers(current: AnswerSet,
+                    full: AnswerSet,
+                    answers_per_object: int,
+                    rng: np.random.Generator | int | None = None,
+                    ) -> AnswerSet:
+    """Add removed answers back until each object has ``answers_per_object``.
+
+    ``current`` must be a subsample of ``full`` (same vocabularies). Objects
+    already at or above the target, or with no more answers available in
+    ``full``, are left as they are.
+    """
+    check_positive_int(answers_per_object, "answers_per_object")
+    generator = ensure_rng(rng)
+    matrix = np.array(current.matrix, copy=True)
+    full_matrix = full.matrix
+    for i in range(matrix.shape[0]):
+        have = np.flatnonzero(matrix[i] != MISSING)
+        missing_here = matrix[i] == MISSING
+        available = np.flatnonzero(missing_here & (full_matrix[i] != MISSING))
+        need = answers_per_object - have.size
+        if need <= 0 or available.size == 0:
+            continue
+        take = generator.choice(available, size=min(need, available.size),
+                                replace=False)
+        matrix[i, take] = full_matrix[i, take]
+    return AnswerSet(matrix, current.labels, current.objects, current.workers)

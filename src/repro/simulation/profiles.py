@@ -1,0 +1,139 @@
+"""Ground-truth confusion matrices per worker type (paper §2, App. A).
+
+The crowd simulator draws each worker's *true* confusion matrix from the
+type-specific generators below, then samples answers from it. The shapes
+follow Figure 1's characterization:
+
+* reliable workers sit in the high-sensitivity/high-specificity corner;
+* normal workers answer correctly with probability ``reliability``
+  (the experiments' ``r`` parameter, default 0.65);
+* sloppy workers are mostly — but unintentionally — wrong;
+* uniform spammers put all mass on one fixed column;
+* random spammers are uniform over labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.checks import check_fraction
+from repro.utils.rng import ensure_rng
+from repro.workers.types import WorkerType
+
+#: Accuracy range for reliable workers.
+RELIABLE_ACCURACY = (0.9, 0.99)
+
+#: Accuracy range for sloppy workers (mostly wrong, never adversarially so).
+#: Calibrated against two paper constraints: (1) App. D observes the default
+#: population's mean accuracy sits near 0.5 when normal reliability is 0.65
+#: (WO precision stalls) and *below* 0.5 at 0.6 (WO precision collapses) —
+#: mean sloppy accuracy ≈ 0.3 satisfies both; (2) a binary sloppy confusion
+#: matrix has second singular value |2a − 1| ∈ [0.2, 0.6] over this range,
+#: keeping sloppy workers distinguishable from rank-one random spammers at
+#: the paper's τ_s = 0.2 (Figure 9's detection-precision axis).
+SLOPPY_ACCURACY = (0.2, 0.4)
+
+#: Jitter applied around a normal worker's nominal reliability.
+NORMAL_JITTER = 0.03
+
+
+def _diagonal_confusion(n_labels: int, diagonal: np.ndarray) -> np.ndarray:
+    """Confusion matrix with the given per-label accuracy on the diagonal
+    and the remaining mass spread uniformly over wrong labels."""
+    diagonal = np.clip(diagonal, 0.0, 1.0)
+    matrix = np.empty((n_labels, n_labels))
+    for row, acc in enumerate(diagonal):
+        off = (1.0 - acc) / (n_labels - 1) if n_labels > 1 else 0.0
+        matrix[row, :] = off
+        matrix[row, row] = acc if n_labels > 1 else 1.0
+    return matrix
+
+
+def reliable_confusion(n_labels: int,
+                       rng: np.random.Generator | int | None = None,
+                       ) -> np.ndarray:
+    """Confusion matrix of a reliable worker (accuracy ~ U[0.9, 0.99])."""
+    generator = ensure_rng(rng)
+    diagonal = generator.uniform(*RELIABLE_ACCURACY, size=n_labels)
+    return _diagonal_confusion(n_labels, diagonal)
+
+
+def normal_confusion(n_labels: int,
+                     reliability: float = 0.65,
+                     rng: np.random.Generator | int | None = None,
+                     ) -> np.ndarray:
+    """Confusion matrix of a normal worker.
+
+    Per-label accuracy is the nominal ``reliability`` with a small uniform
+    jitter, so a simulated community is heterogeneous around ``r`` rather
+    than a clone army.
+    """
+    check_fraction(reliability, "reliability")
+    generator = ensure_rng(rng)
+    jitter = generator.uniform(-NORMAL_JITTER, NORMAL_JITTER, size=n_labels)
+    return _diagonal_confusion(n_labels, np.full(n_labels, reliability) + jitter)
+
+
+def sloppy_confusion(n_labels: int,
+                     rng: np.random.Generator | int | None = None,
+                     ) -> np.ndarray:
+    """Confusion matrix of a sloppy worker (accuracy ~ U[0.15, 0.40])."""
+    generator = ensure_rng(rng)
+    diagonal = generator.uniform(*SLOPPY_ACCURACY, size=n_labels)
+    return _diagonal_confusion(n_labels, diagonal)
+
+
+def uniform_spammer_confusion(n_labels: int,
+                              rng: np.random.Generator | int | None = None,
+                              fixed_label: int | None = None) -> np.ndarray:
+    """Confusion matrix of a uniform spammer: one hot column.
+
+    The spammer's pet label is drawn uniformly unless ``fixed_label`` pins
+    it (Table 2's worker A′ always answers ``F``).
+    """
+    generator = ensure_rng(rng)
+    label = int(generator.integers(n_labels)) if fixed_label is None \
+        else int(fixed_label)
+    matrix = np.zeros((n_labels, n_labels))
+    matrix[:, label] = 1.0
+    return matrix
+
+
+def random_spammer_confusion(n_labels: int,
+                             rng: np.random.Generator | int | None = None,
+                             ) -> np.ndarray:
+    """Confusion matrix of a random spammer: uniform rows (rank one)."""
+    return np.full((n_labels, n_labels), 1.0 / n_labels)
+
+
+def confusion_for_type(worker_type: WorkerType,
+                       n_labels: int,
+                       reliability: float = 0.65,
+                       rng: np.random.Generator | int | None = None,
+                       ) -> np.ndarray:
+    """Dispatch to the generator for ``worker_type``."""
+    generator = ensure_rng(rng)
+    if worker_type is WorkerType.RELIABLE:
+        return reliable_confusion(n_labels, generator)
+    if worker_type is WorkerType.NORMAL:
+        return normal_confusion(n_labels, reliability, generator)
+    if worker_type is WorkerType.SLOPPY:
+        return sloppy_confusion(n_labels, generator)
+    if worker_type is WorkerType.UNIFORM_SPAMMER:
+        return uniform_spammer_confusion(n_labels, generator)
+    if worker_type is WorkerType.RANDOM_SPAMMER:
+        return random_spammer_confusion(n_labels, generator)
+    raise ValueError(f"unknown worker type {worker_type!r}")
+
+
+def apply_difficulty(confusion: np.ndarray, difficulty: float) -> np.ndarray:
+    """Temper a confusion matrix toward uniform for a hard question.
+
+    ``F_eff = (1 − d) · F + d · Uniform``: at difficulty 0 the worker
+    behaves per their matrix, at 1 even a reliable worker guesses — the
+    App. C/D "question difficulty" knob (twt easy vs. art hard).
+    """
+    check_fraction(difficulty, "difficulty")
+    m = confusion.shape[0]
+    uniform = np.full_like(confusion, 1.0 / m)
+    return (1.0 - difficulty) * confusion + difficulty * uniform

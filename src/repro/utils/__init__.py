@@ -1,0 +1,24 @@
+"""Shared utilities: RNG normalization and argument checking."""
+
+from repro.utils.checks import (
+    check_distribution,
+    check_fraction,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_row_stochastic,
+    check_unique,
+)
+from repro.utils.rng import ensure_rng, split_rng
+
+__all__ = [
+    "check_distribution",
+    "check_fraction",
+    "check_non_negative_int",
+    "check_positive",
+    "check_positive_int",
+    "check_row_stochastic",
+    "check_unique",
+    "ensure_rng",
+    "split_rng",
+]

@@ -1,0 +1,92 @@
+"""Argument- and invariant-checking helpers.
+
+Small, reusable validators used at the public API boundary. They raise the
+library's own exception types with actionable messages instead of letting
+NumPy fail deep inside a kernel with an inscrutable broadcasting error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidProbabilityError
+
+#: Tolerance used when checking that probability vectors sum to one.
+PROB_ATOL = 1e-6
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive."""
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0."""
+    if int(value) != value or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return int(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1."""
+    if int(value) != value or value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_distribution(vector: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``vector`` is a probability distribution.
+
+    Returns the vector as a float array. Raises
+    :class:`~repro.errors.InvalidProbabilityError` when entries are negative
+    or the mass does not sum to one within :data:`PROB_ATOL`.
+    """
+    arr = np.asarray(vector, dtype=float)
+    if arr.ndim != 1:
+        raise InvalidProbabilityError(
+            f"{name} must be one-dimensional, got shape {arr.shape}")
+    if np.any(arr < -PROB_ATOL):
+        raise InvalidProbabilityError(f"{name} contains negative mass: {arr!r}")
+    total = float(arr.sum())
+    if not np.isclose(total, 1.0, atol=PROB_ATOL):
+        raise InvalidProbabilityError(
+            f"{name} must sum to 1 (got {total:.8f})")
+    return arr
+
+
+def check_row_stochastic(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Validate that every row of ``matrix`` is a probability distribution."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise InvalidProbabilityError(
+            f"{name} must be two-dimensional, got shape {arr.shape}")
+    if np.any(arr < -PROB_ATOL):
+        raise InvalidProbabilityError(f"{name} contains negative entries")
+    sums = arr.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=PROB_ATOL):
+        bad = int(np.argmax(np.abs(sums - 1.0)))
+        raise InvalidProbabilityError(
+            f"row {bad} of {name} sums to {sums[bad]:.8f}, expected 1")
+    return arr
+
+
+def check_unique(items: Sequence[object], name: str) -> None:
+    """Validate that ``items`` contains no duplicates."""
+    seen: set[object] = set()
+    for item in items:
+        if item in seen:
+            raise ValueError(f"duplicate entry {item!r} in {name}")
+        seen.add(item)

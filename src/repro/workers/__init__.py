@@ -1,0 +1,24 @@
+"""Worker taxonomy, reliability statistics, and faulty-worker detection."""
+
+from repro.workers.reliability import WorkerStats, inter_worker_agreement, worker_stats
+from repro.workers.spammer_detection import (
+    DEFAULT_TAU_P,
+    DEFAULT_TAU_S,
+    DetectionResult,
+    SpammerDetector,
+    detection_precision_recall,
+)
+from repro.workers.types import DEFAULT_POPULATION, WorkerType
+
+__all__ = [
+    "DEFAULT_POPULATION",
+    "DEFAULT_TAU_P",
+    "DEFAULT_TAU_S",
+    "DetectionResult",
+    "SpammerDetector",
+    "WorkerStats",
+    "WorkerType",
+    "detection_precision_recall",
+    "inter_worker_agreement",
+    "worker_stats",
+]

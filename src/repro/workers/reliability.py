@@ -1,0 +1,92 @@
+"""Worker reliability statistics (paper §2, Figure 1).
+
+Given a gold standard (or the expert validations), these helpers summarize
+each worker's behaviour: accuracy, sensitivity/specificity for binary
+tasks (Figure 1's axes), and agreement rates — the quantities used to
+characterize worker types and to sanity-check the crowd simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.answer_set import MISSING, AnswerSet
+from repro.core.confusion import normalize_rows, sensitivity_specificity
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Per-worker summary against a gold standard."""
+
+    n_answers: np.ndarray
+    n_correct: np.ndarray
+    accuracy: np.ndarray
+    confusions: np.ndarray
+
+    def sensitivity_specificity(self) -> np.ndarray:
+        """``k × 2`` array of (sensitivity, specificity), binary tasks only."""
+        return np.array([
+            sensitivity_specificity(conf) for conf in self.confusions
+        ])
+
+
+def worker_stats(answer_set: AnswerSet, gold: np.ndarray) -> WorkerStats:
+    """Compute per-worker statistics against gold labels.
+
+    Parameters
+    ----------
+    gold:
+        Length-``n`` vector of correct label codes.
+
+    Returns
+    -------
+    WorkerStats
+        Answer counts, correct counts, accuracy (NaN for workers with no
+        answers), and gold-conditioned confusion matrices.
+    """
+    gold = np.asarray(gold, dtype=np.int64)
+    if gold.shape != (answer_set.n_objects,):
+        raise ValueError(
+            f"gold must have length {answer_set.n_objects}, got {gold.shape}")
+    matrix = answer_set.matrix
+    k, m = answer_set.n_workers, answer_set.n_labels
+    answered = matrix != MISSING
+    n_answers = answered.sum(axis=0)
+    correct = answered & (matrix == gold[:, None])
+    n_correct = correct.sum(axis=0)
+    with np.errstate(invalid="ignore"):
+        accuracy = np.where(n_answers > 0, n_correct / np.maximum(n_answers, 1),
+                            np.nan)
+
+    counts = np.zeros((k, m, m), dtype=float)
+    rows, cols = np.nonzero(answered)
+    np.add.at(counts, (cols, gold[rows], matrix[rows, cols]), 1.0)
+    confusions = normalize_rows(counts)
+    return WorkerStats(
+        n_answers=n_answers,
+        n_correct=n_correct,
+        accuracy=accuracy,
+        confusions=confusions,
+    )
+
+
+def inter_worker_agreement(answer_set: AnswerSet) -> float:
+    """Mean pairwise agreement over co-answered objects.
+
+    A cheap, gold-free cohesion measure: for every object, the fraction of
+    agreeing ordered pairs among the workers who answered it, averaged over
+    objects with at least two answers. Ranges in [0, 1]; a crowd of random
+    spammers on ``m`` labels approaches ``1/m``.
+    """
+    counts = answer_set.vote_counts().astype(float)
+    totals = counts.sum(axis=1)
+    mask = totals >= 2
+    if not np.any(mask):
+        return float("nan")
+    counts = counts[mask]
+    totals = totals[mask]
+    agreeing_pairs = (counts * (counts - 1)).sum(axis=1)
+    all_pairs = totals * (totals - 1)
+    return float(np.mean(agreeing_pairs / all_pairs))

@@ -1,0 +1,52 @@
+"""The worker taxonomy of Kazai et al. [29], used throughout the paper (§2).
+
+Five types span the reliability spectrum visualized in Figure 1:
+reliable and normal workers are trustworthy to different degrees; sloppy
+workers are mostly wrong but honest; uniform spammers always submit the
+same label; random spammers answer uniformly at random.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class WorkerType(enum.Enum):
+    """Expertise/behaviour classes of crowd workers."""
+
+    RELIABLE = "reliable"
+    NORMAL = "normal"
+    SLOPPY = "sloppy"
+    UNIFORM_SPAMMER = "uniform_spammer"
+    RANDOM_SPAMMER = "random_spammer"
+
+    @property
+    def is_faulty(self) -> bool:
+        """Whether the paper's guidance wants this type detected and handled.
+
+        Sloppy workers, uniform spammers, and random spammers are the three
+        problematic types targeted by worker-driven guidance (§5.3).
+        """
+        return self in _FAULTY
+
+    @property
+    def is_spammer(self) -> bool:
+        """Uniform or random spammer (intentionally useless answers)."""
+        return self in (WorkerType.UNIFORM_SPAMMER, WorkerType.RANDOM_SPAMMER)
+
+
+_FAULTY = frozenset({
+    WorkerType.SLOPPY,
+    WorkerType.UNIFORM_SPAMMER,
+    WorkerType.RANDOM_SPAMMER,
+})
+
+#: Default worker-population mix (App. A, after [29]): 43 % reliable/normal
+#: workers, 32 % sloppy workers, 25 % spammers (split evenly between
+#: uniform and random spammers).
+DEFAULT_POPULATION: dict[WorkerType, float] = {
+    WorkerType.NORMAL: 0.43,
+    WorkerType.SLOPPY: 0.32,
+    WorkerType.UNIFORM_SPAMMER: 0.125,
+    WorkerType.RANDOM_SPAMMER: 0.125,
+}

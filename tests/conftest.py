@@ -1,0 +1,98 @@
+"""Shared fixtures: the paper's worked examples and small simulated crowds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.answer_set import AnswerSet
+from repro.core.validation import ExpertValidation
+from repro.simulation.crowd import CrowdConfig, simulate_crowd
+from repro.workers.types import WorkerType
+
+
+@pytest.fixture
+def table1_answer_set() -> AnswerSet:
+    """Table 1 of the paper: 5 workers × 4 objects, labels 1–4.
+
+    Correct labels are (2, 3, 1, 2) → codes (1, 2, 0, 1). Majority voting
+    gets o1/o2 right, ties on o3, and is wrong on o4.
+    """
+    matrix = np.array([
+        [1, 2, 1, 1, 2],
+        [2, 1, 2, 1, 2],
+        [0, 3, 0, 3, 2],
+        [3, 0, 1, 0, 2],
+    ])
+    return AnswerSet(matrix, labels=("1", "2", "3", "4"))
+
+
+@pytest.fixture
+def table1_gold() -> np.ndarray:
+    return np.array([1, 2, 0, 1])
+
+
+@pytest.fixture
+def table2_answer_sets() -> AnswerSet:
+    """Table 2: workers A (random spammer) and A' (uniform spammer) on eight
+    binary objects with gold (T,T,F,F,T,F,T,F) → codes (0,0,1,1,0,1,0,1)."""
+    # columns: A, A'
+    matrix = np.array([
+        [0, 1],
+        [1, 1],
+        [0, 1],
+        [1, 1],
+        [0, 1],
+        [1, 1],
+        [1, 1],
+        [0, 1],
+    ])
+    return AnswerSet(matrix, labels=("T", "F"), workers=("A", "Aprime"))
+
+
+@pytest.fixture
+def table2_gold() -> np.ndarray:
+    return np.array([0, 0, 1, 1, 0, 1, 0, 1])
+
+
+@pytest.fixture
+def empty_validation(table1_answer_set: AnswerSet) -> ExpertValidation:
+    return ExpertValidation.empty_for(table1_answer_set)
+
+
+@pytest.fixture
+def small_crowd():
+    """A 30×12 binary crowd with a clear honest majority (no flips)."""
+    config = CrowdConfig(
+        n_objects=30, n_workers=12, n_labels=2, reliability=0.8,
+        population={
+            WorkerType.NORMAL: 0.7,
+            WorkerType.SLOPPY: 0.1,
+            WorkerType.UNIFORM_SPAMMER: 0.1,
+            WorkerType.RANDOM_SPAMMER: 0.1,
+        },
+    )
+    return simulate_crowd(config, rng=7)
+
+
+@pytest.fixture
+def spammy_crowd():
+    """A 40×20 binary crowd with 40 % spammers (the paper's worst case)."""
+    config = CrowdConfig(
+        n_objects=40, n_workers=20, n_labels=2, reliability=0.75,
+        population={
+            WorkerType.NORMAL: 0.5,
+            WorkerType.SLOPPY: 0.1,
+            WorkerType.UNIFORM_SPAMMER: 0.2,
+            WorkerType.RANDOM_SPAMMER: 0.2,
+        },
+    )
+    return simulate_crowd(config, rng=11)
+
+
+@pytest.fixture
+def multiclass_crowd():
+    """A 25×15 four-label crowd for non-binary code paths."""
+    config = CrowdConfig(n_objects=25, n_workers=15, n_labels=4,
+                         reliability=0.7)
+    return simulate_crowd(config, rng=13)

@@ -1,0 +1,155 @@
+"""Tests for the §6.8 cost model: EV/WO curves and budget allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    AllocationPoint,
+    CostParams,
+    allocation_curve,
+    best_allocation,
+    best_allocation_with_time,
+    budget_for_ratio,
+    ev_cost_curve,
+    ev_cost_per_object,
+    ev_total_cost,
+    split_budget,
+    wo_cost_curve,
+    wo_total_cost,
+)
+from repro.errors import CostModelError
+from repro.simulation import CrowdConfig, simulate_crowd
+from repro.workers.types import WorkerType
+
+
+@pytest.fixture(scope="module")
+def pool_crowd():
+    """A 40-object campaign with a deep worker pool to buy answers from."""
+    config = CrowdConfig(
+        n_objects=40, n_workers=30, answers_per_object=24,
+        reliability=0.75,
+        population={
+            WorkerType.NORMAL: 0.6,
+            WorkerType.SLOPPY: 0.2,
+            WorkerType.UNIFORM_SPAMMER: 0.1,
+            WorkerType.RANDOM_SPAMMER: 0.1,
+        })
+    return simulate_crowd(config, rng=21)
+
+
+class TestCostArithmetic:
+    def test_ev_and_wo_totals(self):
+        params = CostParams(theta=25, phi0=13)
+        assert ev_total_cost(params, 100, 20) == 25 * 20 + 100 * 13
+        assert wo_total_cost(20, 100) == 2000
+        assert ev_cost_per_object(params, 100, 20) == pytest.approx(18.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(CostModelError):
+            CostParams(theta=0)
+        with pytest.raises(CostModelError):
+            CostParams(theta=10, phi0=-1)
+        with pytest.raises(CostModelError):
+            ev_total_cost(CostParams(), 10, -1)
+        with pytest.raises(CostModelError):
+            wo_total_cost(-1, 10)
+
+    def test_budget_for_ratio_bounds(self):
+        assert budget_for_ratio(0.4, 25, 100) == pytest.approx(1000.0)
+        with pytest.raises(CostModelError):
+            budget_for_ratio(0.01, 25, 100)  # below 1/theta
+        with pytest.raises(CostModelError):
+            budget_for_ratio(1.2, 25, 100)
+
+    def test_split_budget(self):
+        split = split_budget(1000, 0.75, theta=25, n_objects=50)
+        assert split.phi0 == 15
+        assert split.n_validations == 10
+        assert split.crowd_share == 0.75
+
+    def test_split_budget_minimum_one_answer(self):
+        split = split_budget(500, 0.0, theta=25, n_objects=50)
+        assert split.phi0 == 1
+        assert split.n_validations == 18
+
+    def test_split_budget_infeasible(self):
+        with pytest.raises(CostModelError):
+            split_budget(10, 0.5, theta=25, n_objects=50)
+
+
+class TestCostCurves:
+    def test_wo_curve_shape(self, pool_crowd):
+        points = wo_cost_curve(pool_crowd, phi0=8, phis=[8, 14, 20], rng=1)
+        assert [p.cost_per_object for p in points] == [8, 14, 20]
+        assert points[0].improvement == pytest.approx(
+            0.0, abs=0.35)  # restored sample differs slightly from baseline
+        for point in points:
+            assert 0.0 <= point.precision <= 1.0
+
+    def test_wo_curve_rejects_phi_below_phi0(self, pool_crowd):
+        with pytest.raises(CostModelError):
+            wo_cost_curve(pool_crowd, phi0=10, phis=[5], rng=0)
+
+    def test_ev_curve_monotone_cost(self, pool_crowd):
+        params = CostParams(theta=25, phi0=8)
+        points = ev_cost_curve(pool_crowd, params, [0, 5, 10], rng=1)
+        costs = [p.cost_per_object for p in points]
+        assert costs == sorted(costs)
+        assert points[0].detail == 0
+        assert points[-1].detail == 10
+
+    def test_ev_beats_wo_at_high_spend(self, pool_crowd):
+        """The paper's headline: for θ=25 the EV strategy reaches higher
+        precision than WO at comparable per-object cost."""
+        params = CostParams(theta=25, phi0=8)
+        ev = ev_cost_curve(pool_crowd, params,
+                           [0, 8, 16, 24, 32, 40], rng=2)
+        wo = wo_cost_curve(pool_crowd, phi0=8, phis=[8, 12, 16, 20, 24],
+                           rng=2)
+        assert max(p.precision for p in ev) >= \
+            max(p.precision for p in wo)
+
+    def test_ev_curve_invalid_checkpoints(self, pool_crowd):
+        with pytest.raises(CostModelError):
+            ev_cost_curve(pool_crowd, CostParams(), [])
+        with pytest.raises(CostModelError):
+            ev_cost_curve(pool_crowd, CostParams(), [-1])
+
+
+class TestAllocation:
+    def test_curve_and_optimum(self, pool_crowd):
+        points = allocation_curve(pool_crowd, rho=0.4, theta=25,
+                                  shares=[0.3, 0.5, 0.75, 1.0], rng=3)
+        assert len(points) >= 3
+        best = best_allocation(points)
+        assert best.precision == max(p.precision for p in points)
+        # A share of 1.0 is the WO special case: zero validations.
+        full_crowd = [p for p in points if p.crowd_share == 1.0]
+        assert full_crowd and full_crowd[0].n_validations == 0
+
+    def test_mixed_allocation_beats_pure_crowd(self, pool_crowd):
+        """Figure 13's message: some expert budget beats none."""
+        points = allocation_curve(pool_crowd, rho=0.5, theta=25,
+                                  shares=[0.4, 0.6, 0.8, 1.0], rng=4)
+        best = best_allocation(points)
+        pure = [p for p in points if p.crowd_share == 1.0][0]
+        assert best.precision >= pure.precision
+
+    def test_time_constraint_restricts_region(self, pool_crowd):
+        points = allocation_curve(pool_crowd, rho=0.4, theta=25,
+                                  shares=[0.3, 0.5, 0.75, 1.0], rng=5)
+        constrained = best_allocation_with_time(points, max_validations=5)
+        assert all(p.n_validations <= 5 for p in constrained.feasible)
+        assert constrained.optimum.n_validations <= 5
+        assert 0.0 <= constrained.boundary_share <= 1.0
+
+    def test_time_constraint_infeasible(self):
+        points = [AllocationPoint(0.5, 10, 20, 0.9)]
+        with pytest.raises(CostModelError):
+            best_allocation_with_time(points, max_validations=5)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(CostModelError):
+            best_allocation([])

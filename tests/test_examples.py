@@ -1,0 +1,47 @@
+"""Smoke tests: the runnable examples must execute cleanly.
+
+Only the fast examples run here (the strategy-comparison and budget
+examples take tens of seconds and are exercised by their underlying
+modules' own tests); the interactive tool is import-checked.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout, check=True)
+    return result.stdout
+
+
+def test_quickstart_reaches_perfect_correctness():
+    out = run_example("quickstart.py")
+    assert "Perfect correctness" in out
+    assert "W3" in out  # reliability section printed
+
+
+def test_spammer_audit_separates_types():
+    out = run_example("spammer_audit.py")
+    assert "uniform_spammer" in out
+    assert "recall" in out
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py",
+    "image_tagging_validation.py",
+    "spammer_audit.py",
+    "budget_planning.py",
+    "interactive_validation.py",
+])
+def test_examples_compile(name):
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

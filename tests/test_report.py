@@ -1,0 +1,99 @@
+"""Tests for validation-run reports and their curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.process.report import StepRecord, ValidationReport
+
+
+def make_record(i: int, precision: float, effort: int,
+                uncertainty: float = 1.0) -> StepRecord:
+    return StepRecord(
+        iteration=i, object_index=i - 1, expert_label=0,
+        strategy="baseline", hybrid_weight=0.2, error_rate=0.3,
+        spammer_ratio=0.1, n_suspected=0, uncertainty=uncertainty,
+        precision=precision, effort=effort, em_iterations=2,
+        elapsed_seconds=0.01)
+
+
+@pytest.fixture
+def report() -> ValidationReport:
+    return ValidationReport(
+        n_objects=10,
+        initial_precision=0.6,
+        initial_uncertainty=5.0,
+        records=[
+            make_record(1, 0.7, 1, 4.0),
+            make_record(2, 0.8, 2, 3.0),
+            make_record(3, 1.0, 4, 1.0),  # effort 4: confirmation re-elicits
+        ],
+        goal_reached=True,
+    )
+
+
+class TestCurves:
+    def test_efforts_include_origin(self, report):
+        assert report.efforts().tolist() == [0.0, 0.1, 0.2, 0.4]
+        assert report.efforts(relative=False).tolist() == [0, 1, 2, 4]
+
+    def test_precisions_and_uncertainties(self, report):
+        assert report.precisions().tolist() == [0.6, 0.7, 0.8, 1.0]
+        assert report.uncertainties().tolist() == [5.0, 4.0, 3.0, 1.0]
+
+    def test_improvements(self, report):
+        improvements = report.improvements()
+        assert improvements[0] == pytest.approx(0.0)
+        assert improvements[-1] == pytest.approx(1.0)
+        assert improvements[1] == pytest.approx(0.25)
+
+    def test_improvements_with_perfect_start(self):
+        perfect = ValidationReport(n_objects=5, initial_precision=1.0,
+                                   initial_uncertainty=0.0)
+        assert np.all(perfect.improvements() == 1.0)
+
+    def test_improvements_without_gold(self):
+        nogold = ValidationReport(n_objects=5,
+                                  initial_precision=float("nan"),
+                                  initial_uncertainty=1.0,
+                                  records=[make_record(1, float("nan"), 1)])
+        assert np.all(np.isnan(nogold.improvements()))
+
+
+class TestSummaries:
+    def test_totals(self, report):
+        assert report.total_effort == 4
+        assert report.n_iterations == 3
+        assert report.final_precision() == 1.0
+
+    def test_effort_to_reach_precision(self, report):
+        assert report.effort_to_reach_precision(0.8) == pytest.approx(0.2)
+        assert report.effort_to_reach_precision(1.0) == pytest.approx(0.4)
+        assert report.effort_to_reach_precision(0.5) == 0.0  # already there
+        empty = ValidationReport(n_objects=5, initial_precision=0.5,
+                                 initial_uncertainty=1.0)
+        assert np.isnan(empty.effort_to_reach_precision(0.9))
+
+    def test_precision_at_effort(self, report):
+        assert report.precision_at_effort(0.0) == 0.6
+        assert report.precision_at_effort(0.25) == 0.8
+        assert report.precision_at_effort(1.0) == 1.0
+
+    def test_strategy_usage(self, report):
+        assert report.strategy_usage() == {"baseline": 3}
+
+    def test_mean_step_seconds(self, report):
+        assert report.mean_step_seconds() == pytest.approx(0.01)
+        empty = ValidationReport(n_objects=5, initial_precision=0.5,
+                                 initial_uncertainty=1.0)
+        assert np.isnan(empty.mean_step_seconds())
+
+    def test_to_csv(self, report):
+        csv_text = report.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 4  # header + 3 records
+        assert lines[0].startswith("iteration,object_index")
+
+    def test_repr(self, report):
+        assert "iterations=3" in repr(report)

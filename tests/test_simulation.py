@@ -1,0 +1,252 @@
+"""Tests for worker profiles, the crowd simulator, and dataset stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answer_set import MISSING
+from repro.errors import DatasetError
+from repro.simulation import (
+    CrowdConfig,
+    DATASET_NAMES,
+    DATASET_SPECS,
+    allocate_types,
+    apply_difficulty,
+    confusion_for_type,
+    dataset_statistics,
+    load_dataset,
+    normal_confusion,
+    random_spammer_confusion,
+    reliable_confusion,
+    restore_answers,
+    simulate_crowd,
+    sloppy_confusion,
+    subsample_per_object,
+    uniform_spammer_confusion,
+)
+from repro.workers.types import DEFAULT_POPULATION, WorkerType
+
+
+class TestProfiles:
+    def test_all_profiles_are_row_stochastic(self):
+        for worker_type in WorkerType:
+            conf = confusion_for_type(worker_type, 3, rng=0)
+            assert conf.shape == (3, 3)
+            assert np.allclose(conf.sum(axis=1), 1.0)
+
+    def test_reliable_has_high_diagonal(self):
+        conf = reliable_confusion(2, rng=0)
+        assert np.all(np.diag(conf) >= 0.9)
+
+    def test_normal_centred_on_reliability(self):
+        confs = [normal_confusion(2, reliability=0.7, rng=s)
+                 for s in range(20)]
+        mean_diag = np.mean([np.diag(c).mean() for c in confs])
+        assert 0.65 < mean_diag < 0.75
+
+    def test_sloppy_mostly_wrong(self):
+        conf = sloppy_confusion(2, rng=0)
+        assert np.all(np.diag(conf) < 0.5)
+
+    def test_uniform_spammer_single_column(self):
+        conf = uniform_spammer_confusion(3, fixed_label=1)
+        assert np.allclose(conf[:, 1], 1.0)
+        assert conf.sum() == pytest.approx(3.0)
+
+    def test_random_spammer_uniform(self):
+        conf = random_spammer_confusion(4)
+        assert np.allclose(conf, 0.25)
+
+    def test_apply_difficulty_tempers_toward_uniform(self):
+        conf = np.eye(2)
+        easy = apply_difficulty(conf, 0.0)
+        hard = apply_difficulty(conf, 1.0)
+        assert np.allclose(easy, conf)
+        assert np.allclose(hard, 0.5)
+        mid = apply_difficulty(conf, 0.4)
+        assert np.all(np.diag(mid) < 1.0)
+        assert np.allclose(mid.sum(axis=1), 1.0)
+
+
+class TestAllocateTypes:
+    def test_counts_sum_to_n(self):
+        types = allocate_types(DEFAULT_POPULATION, 20)
+        assert len(types) == 20
+
+    def test_largest_remainder_is_close(self):
+        types = allocate_types({WorkerType.NORMAL: 0.5,
+                                WorkerType.SLOPPY: 0.5}, 7)
+        normal = sum(1 for t in types if t is WorkerType.NORMAL)
+        assert normal in (3, 4)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(DatasetError):
+            allocate_types({WorkerType.NORMAL: 0.0}, 5)
+
+
+class TestCrowdConfig:
+    def test_mutually_exclusive_sparsity(self):
+        with pytest.raises(DatasetError):
+            CrowdConfig(10, 5, answers_per_object=3,
+                        max_answers_per_worker=3)
+
+    def test_answers_per_object_bounds(self):
+        with pytest.raises(DatasetError):
+            CrowdConfig(10, 5, answers_per_object=6)
+
+    def test_with_spammer_fraction(self):
+        config = CrowdConfig(10, 10).with_spammer_fraction(0.4)
+        spam = (config.population[WorkerType.UNIFORM_SPAMMER]
+                + config.population[WorkerType.RANDOM_SPAMMER])
+        assert spam == pytest.approx(0.4)
+        honest = (config.population[WorkerType.NORMAL]
+                  + config.population[WorkerType.SLOPPY])
+        assert honest == pytest.approx(0.6)
+        # normal:sloppy proportion preserved from the default mix
+        ratio = config.population[WorkerType.NORMAL] / honest
+        default_ratio = DEFAULT_POPULATION[WorkerType.NORMAL] / (
+            DEFAULT_POPULATION[WorkerType.NORMAL]
+            + DEFAULT_POPULATION[WorkerType.SLOPPY])
+        assert ratio == pytest.approx(default_ratio)
+
+
+class TestSimulateCrowd:
+    def test_deterministic_for_seed(self):
+        config = CrowdConfig(15, 8)
+        a = simulate_crowd(config, rng=3)
+        b = simulate_crowd(config, rng=3)
+        assert a.answer_set == b.answer_set
+        assert np.array_equal(a.gold, b.gold)
+
+    def test_dense_by_default(self):
+        crowd = simulate_crowd(CrowdConfig(10, 5), rng=0)
+        assert crowd.answer_set.density == 1.0
+
+    def test_answers_per_object_sparsity(self):
+        crowd = simulate_crowd(CrowdConfig(20, 10, answers_per_object=4),
+                               rng=0)
+        assert np.all(crowd.answer_set.answers_per_object() == 4)
+
+    def test_max_answers_per_worker(self):
+        crowd = simulate_crowd(
+            CrowdConfig(50, 10, max_answers_per_worker=7), rng=0)
+        assert np.all(crowd.answer_set.answers_per_worker() <= 7)
+
+    def test_uniform_spammers_answer_uniformly(self):
+        crowd = simulate_crowd(CrowdConfig(
+            40, 10, population={WorkerType.UNIFORM_SPAMMER: 1.0}), rng=0)
+        matrix = crowd.answer_set.matrix
+        for j in range(10):
+            column = matrix[:, j]
+            assert np.unique(column[column != MISSING]).size == 1
+
+    def test_reliable_crowd_mostly_correct(self):
+        crowd = simulate_crowd(CrowdConfig(
+            40, 10, population={WorkerType.RELIABLE: 1.0}), rng=0)
+        accuracy = np.mean(crowd.answer_set.matrix == crowd.gold[:, None])
+        assert accuracy > 0.85
+
+    def test_difficulty_lowers_accuracy(self):
+        easy = simulate_crowd(CrowdConfig(
+            60, 10, population={WorkerType.NORMAL: 1.0}, reliability=0.8,
+            difficulty=0.0), rng=1)
+        hard = simulate_crowd(CrowdConfig(
+            60, 10, population={WorkerType.NORMAL: 1.0}, reliability=0.8,
+            difficulty=0.8), rng=1)
+        acc_easy = np.mean(easy.answer_set.matrix == easy.gold[:, None])
+        acc_hard = np.mean(hard.answer_set.matrix == hard.gold[:, None])
+        assert acc_hard < acc_easy
+
+    def test_faulty_mask_matches_types(self, spammy_crowd):
+        mask = spammy_crowd.faulty_mask
+        for worker, worker_type in enumerate(spammy_crowd.worker_types):
+            assert mask[worker] == worker_type.is_faulty
+
+
+class TestSubsampleRestore:
+    def test_subsample_reduces_to_target(self, small_crowd):
+        thinned = subsample_per_object(small_crowd, 5, rng=0)
+        assert np.all(thinned.answers_per_object() == 5)
+
+    def test_restore_brings_answers_back(self, small_crowd):
+        thinned = subsample_per_object(small_crowd, 5, rng=0)
+        restored = restore_answers(thinned, small_crowd.answer_set, 9, rng=0)
+        assert np.all(restored.answers_per_object() == 9)
+        # Restored answers must agree with the full matrix.
+        mask = restored.matrix != MISSING
+        assert np.array_equal(restored.matrix[mask],
+                              small_crowd.answer_set.matrix[mask])
+
+    def test_restore_caps_at_available(self, small_crowd):
+        thinned = subsample_per_object(small_crowd, 5, rng=0)
+        restored = restore_answers(thinned, small_crowd.answer_set, 999,
+                                   rng=0)
+        assert np.array_equal(restored.matrix, small_crowd.answer_set.matrix)
+
+
+class TestRealWorldDatasets:
+    def test_table4_statistics(self):
+        rows = dataset_statistics()
+        by_name = {row["dataset"]: row for row in rows}
+        assert by_name["bb"]["objects"] == 108
+        assert by_name["bb"]["workers"] == 39
+        assert by_name["rte"]["objects"] == 800
+        assert by_name["rte"]["workers"] == 164
+        assert by_name["val"]["objects"] == 100
+        assert by_name["twt"]["objects"] == 300
+        assert by_name["art"]["objects"] == 200
+        assert all(row["labels"] == 2 for row in rows)
+
+    def test_load_dataset_deterministic(self):
+        a = load_dataset("val")
+        b = load_dataset("val")
+        assert a.answer_set == b.answer_set
+        assert np.array_equal(a.gold, b.gold)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_bb_is_dense(self):
+        assert load_dataset("bb").answer_set.density == 1.0
+
+    def test_sparse_sets_have_ten_answers(self):
+        for name in ("rte", "val", "twt", "art"):
+            dataset = load_dataset(name)
+            assert np.all(dataset.answer_set.answers_per_object() == 10), name
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_initial_em_precision_calibration(self, name):
+        """Stand-ins reproduce the paper's initial precision within a
+        tolerance band (see realworld.py docstring)."""
+        from repro.core.em import DawidSkeneEM
+        from repro.metrics import precision
+        targets = {"bb": 0.86, "rte": 0.92, "val": 0.80,
+                   "twt": 0.88, "art": 0.65}
+        dataset = load_dataset(name)
+        prob_set = DawidSkeneEM().fit(dataset.answer_set)
+        value = precision(prob_set.map_labels(), dataset.gold)
+        assert abs(value - targets[name]) < 0.06, (name, value)
+
+    def test_spec_order(self):
+        assert tuple(DATASET_SPECS) == DATASET_NAMES
+
+
+@given(
+    n=st.integers(min_value=2, max_value=15),
+    k=st.integers(min_value=2, max_value=8),
+    m=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_simulated_answers_in_range(n, k, m, seed):
+    crowd = simulate_crowd(CrowdConfig(n, k, n_labels=m), rng=seed)
+    matrix = crowd.answer_set.matrix
+    assert matrix.shape == (n, k)
+    assert np.all((matrix >= 0) & (matrix < m))  # dense default
+    assert np.all((crowd.gold >= 0) & (crowd.gold < m))
+    assert len(crowd.worker_types) == k
+    assert crowd.true_confusions.shape == (k, m, m)

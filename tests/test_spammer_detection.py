@@ -1,0 +1,180 @@
+"""Tests for faulty-worker detection (§5.3) and reliability stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.answer_set import MISSING, AnswerSet
+from repro.core.validation import ExpertValidation
+from repro.workers.reliability import inter_worker_agreement, worker_stats
+from repro.workers.spammer_detection import (
+    DetectionResult,
+    SpammerDetector,
+    detection_precision_recall,
+)
+from repro.workers.types import WorkerType
+
+
+def full_validation(gold: np.ndarray, n_labels: int) -> ExpertValidation:
+    return ExpertValidation.from_mapping(
+        {i: int(label) for i, label in enumerate(gold)}, gold.size, n_labels)
+
+
+class TestSpammerDetector:
+    def test_table2_detection(self, table2_answer_sets, table2_gold):
+        """Both Table 2 archetypes are flagged once fully validated."""
+        detector = SpammerDetector(tau_s=0.2)
+        result = detector.detect(table2_answer_sets,
+                                 full_validation(table2_gold, 2))
+        assert bool(result.spammer_mask[0])   # A: random spammer
+        assert bool(result.spammer_mask[1])   # A': uniform spammer
+        assert result.n_faulty == 2
+        assert result.faulty_ratio() == 1.0
+
+    def test_honest_worker_not_flagged(self):
+        gold = np.array([0, 1, 0, 1, 0, 1])
+        matrix = gold[:, None]  # one perfectly accurate worker
+        answers = AnswerSet(matrix, labels=("T", "F"))
+        result = SpammerDetector().detect(answers, full_validation(gold, 2))
+        assert not result.faulty_mask.any()
+        assert result.spammer_scores[0] == pytest.approx(1.0)
+
+    def test_sloppy_worker_flagged_by_error_rate(self):
+        gold = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        matrix = (1 - gold)[:, None]  # answers always wrong
+        answers = AnswerSet(matrix, labels=("T", "F"))
+        result = SpammerDetector(tau_p=0.8).detect(
+            answers, full_validation(gold, 2))
+        assert bool(result.sloppy_mask[0])
+        assert result.error_rates[0] == pytest.approx(1.0)
+
+    def test_min_validated_guards_table3_case(self):
+        """Table 3: worker B looks like a random spammer on 4 early
+        validations; requiring more evidence prevents the false flag."""
+        gold = np.array([0, 0, 1, 1, 0, 0])
+        matrix = np.array([[0], [1], [0], [1], [0], [0]])  # B's answers
+        answers = AnswerSet(matrix, labels=("T", "F"))
+        early = ExpertValidation.from_mapping(
+            {i: int(gold[i]) for i in range(4)}, 6, 2)
+        eager = SpammerDetector(min_validated=1).detect(answers, early)
+        cautious = SpammerDetector(min_validated=5).detect(answers, early)
+        assert bool(eager.spammer_mask[0])       # the paper's false positive
+        assert not cautious.spammer_mask[0]      # guarded by evidence bound
+        # With all six validations B clears the threshold either way.
+        late = full_validation(gold, 2)
+        assert not SpammerDetector(min_validated=1).detect(
+            answers, late).spammer_mask[0]
+
+    def test_no_validations_flags_nobody(self, table2_answer_sets):
+        result = SpammerDetector().detect(
+            table2_answer_sets,
+            ExpertValidation.empty_for(table2_answer_sets))
+        assert not result.faulty_mask.any()
+        assert np.all(np.isinf(result.spammer_scores))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SpammerDetector(tau_s=-0.1)
+        with pytest.raises(ValueError):
+            SpammerDetector(tau_p=1.5)
+        with pytest.raises(ValueError):
+            SpammerDetector(min_validated=-1)
+
+    def test_higher_tau_s_flags_more(self, spammy_crowd):
+        gold = spammy_crowd.gold
+        answers = spammy_crowd.answer_set
+        validation = full_validation(gold, 2)
+        low = SpammerDetector(tau_s=0.1).detect(answers, validation)
+        high = SpammerDetector(tau_s=0.5).detect(answers, validation)
+        assert high.spammer_mask.sum() >= low.spammer_mask.sum()
+
+    def test_detection_on_simulated_spammers(self, spammy_crowd):
+        """With full validation, detection recall on true spammers is
+        high and honest normal workers are mostly spared."""
+        result = SpammerDetector(tau_s=0.2).detect(
+            spammy_crowd.answer_set, full_validation(spammy_crowd.gold, 2))
+        precision, recall = detection_precision_recall(
+            result.spammer_mask, spammy_crowd.spammer_mask)
+        assert recall >= 0.75
+        assert precision >= 0.6
+
+
+class TestDetectionResult:
+    def test_masks_and_indices(self):
+        result = DetectionResult(
+            spammer_scores=np.array([0.05, 1.0, np.inf]),
+            error_rates=np.array([0.5, 0.9, 0.0]),
+            evidence=np.array([4, 4, 0]),
+            spammer_mask=np.array([True, False, False]),
+            sloppy_mask=np.array([False, True, False]),
+        )
+        assert result.faulty_mask.tolist() == [True, True, False]
+        assert result.faulty_indices.tolist() == [0, 1]
+        assert result.n_faulty == 2
+        assert result.faulty_ratio() == pytest.approx(2 / 3)
+
+
+class TestPrecisionRecall:
+    def test_perfect_detection(self):
+        mask = np.array([True, False, True])
+        assert detection_precision_recall(mask, mask) == (1.0, 1.0)
+
+    def test_empty_denominators(self):
+        none = np.zeros(3, dtype=bool)
+        some = np.array([True, False, False])
+        assert detection_precision_recall(none, some) == (0.0, 0.0)
+        assert detection_precision_recall(some, none) == (0.0, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            detection_precision_recall(np.zeros(2, bool), np.zeros(3, bool))
+
+
+class TestWorkerStats:
+    def test_accuracy_against_gold(self, table2_answer_sets, table2_gold):
+        stats = worker_stats(table2_answer_sets, table2_gold)
+        assert stats.n_answers.tolist() == [8, 8]
+        assert stats.accuracy[0] == pytest.approx(0.5)   # A random
+        assert stats.accuracy[1] == pytest.approx(0.5)   # A' uniform on 50/50
+        sens_spec = stats.sensitivity_specificity()
+        assert sens_spec.shape == (2, 2)
+        # A' answers F always: sensitivity 0, specificity 1
+        assert sens_spec[1].tolist() == [0.0, 1.0]
+
+    def test_worker_without_answers_has_nan_accuracy(self):
+        answers = AnswerSet(np.array([[0, MISSING]]), labels=("a", "b"))
+        stats = worker_stats(answers, np.array([0]))
+        assert np.isnan(stats.accuracy[1])
+
+    def test_gold_shape_checked(self, table2_answer_sets):
+        with pytest.raises(ValueError):
+            worker_stats(table2_answer_sets, np.array([0, 1]))
+
+
+class TestAgreement:
+    def test_unanimous_crowd(self):
+        answers = AnswerSet(np.zeros((4, 3), dtype=int), labels=("a", "b"))
+        assert inter_worker_agreement(answers) == pytest.approx(1.0)
+
+    def test_single_answers_are_nan(self):
+        answers = AnswerSet(np.array([[0, MISSING]]), labels=("a", "b"))
+        assert np.isnan(inter_worker_agreement(answers))
+
+    def test_simulated_spammers_lower_agreement(self, small_crowd,
+                                                spammy_crowd):
+        assert inter_worker_agreement(spammy_crowd.answer_set) <= \
+            inter_worker_agreement(small_crowd.answer_set) + 0.05
+
+
+class TestWorkerTypes:
+    def test_faulty_classification(self):
+        assert WorkerType.SLOPPY.is_faulty
+        assert WorkerType.UNIFORM_SPAMMER.is_faulty
+        assert WorkerType.RANDOM_SPAMMER.is_faulty
+        assert not WorkerType.NORMAL.is_faulty
+        assert not WorkerType.RELIABLE.is_faulty
+
+    def test_spammer_classification(self):
+        assert WorkerType.UNIFORM_SPAMMER.is_spammer
+        assert not WorkerType.SLOPPY.is_spammer
