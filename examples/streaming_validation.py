@@ -1,0 +1,81 @@
+"""Streaming answer validation — the online sibling of interactive_validation.
+
+Where ``interactive_validation.py`` validates a *finished* campaign,
+this example replays a simulated crowd as a live stream: answers arrive
+Poisson-distributed over time, an expert occasionally asserts ground truth,
+and a :class:`repro.streaming.ValidationSession` keeps the probabilistic
+answer set current through warm-started incremental refinements — no full
+matrix rebuild ever happens after the stream starts.
+
+Run it with no arguments for a small demo campaign::
+
+    python examples/streaming_validation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.evaluation import precision
+from repro.simulation import CrowdConfig, simulate_crowd
+from repro.simulation.stream import (
+    answer_stream,
+    merge_streams,
+    validation_stream,
+)
+from repro.streaming import ValidationSession
+
+
+def main() -> None:
+    crowd = simulate_crowd(
+        CrowdConfig(n_objects=40, n_workers=15, reliability=0.7,
+                    answers_per_object=8), rng=7)
+    print(f"Streaming a campaign of {crowd.answer_set.n_objects} objects x "
+          f"{crowd.answer_set.n_workers} workers "
+          f"({crowd.answer_set.n_answers} answers).")
+
+    # Answers arrive at 60/s; the expert validates ~1.5 objects/s.
+    events = merge_streams(
+        answer_stream(crowd, rate=60.0, rng=1),
+        validation_stream(crowd, rate=1.5, limit=12, rng=2),
+    )
+
+    # The session starts empty and grows as unseen objects/workers appear.
+    session = ValidationSession(n_objects=1, n_workers=1,
+                                n_labels=crowd.answer_set.n_labels)
+    checkpoint = 0
+    for count, event in enumerate(events, start=1):
+        kind = type(event).__name__
+        if kind == "AnswerEvent":
+            session.add_answer(event.object_index, event.worker_index,
+                               event.label, grow=True)
+        else:
+            session.add_validation(event.object_index, event.label,
+                                   overwrite=True)
+        if count - checkpoint >= 80:  # periodic refinement
+            checkpoint = count
+            result = session.conclude()
+            gold = crowd.gold[:session.n_objects]
+            current = np.argmax(session.posteriors(), axis=1)
+            print(f"  t={event.time:6.2f}s  {session.n_answers:4d} answers, "
+                  f"{session.n_validated:2d} validated -> "
+                  f"{result.n_iterations} EM iteration(s), "
+                  f"precision {precision(current, gold):.2f}")
+
+    result = session.conclude()
+    assignment = np.argmax(result.assignment, axis=1)
+    final_precision = precision(assignment, crowd.gold)
+    print(f"\nStream drained: {session.n_concludes} refinements, "
+          f"{session.total_em_iterations} EM iterations total.")
+    print(f"Final precision against gold: {final_precision:.2f}")
+
+    print("\nSample of the final assignment:")
+    labels = crowd.answer_set.labels
+    for obj in range(0, session.n_objects, 8):
+        marker = " (expert)" if session.validation.is_validated(obj) else ""
+        print(f"  {crowd.answer_set.objects[obj]}: "
+              f"{labels[assignment[obj]]}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,8 +34,9 @@ from repro.core import (
     majority_vote,
 )
 from repro.errors import ReproError
+from repro.streaming import ShardedRefresher, ValidationSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MISSING",
@@ -45,6 +46,8 @@ __all__ = [
     "IncrementalEM",
     "ProbabilisticAnswerSet",
     "ReproError",
+    "ShardedRefresher",
+    "ValidationSession",
     "answer_set_uncertainty",
     "deterministic_assignment",
     "majority_vote",

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.answer_set import MISSING, AnswerSet
 from repro.core.confusion import PROB_FLOOR, normalize_rows
+from repro.errors import InvalidAnswerSetError
 
 #: Default Laplace-style smoothing added to confusion counts in the M-step.
 DEFAULT_SMOOTHING = 0.01
@@ -66,6 +67,370 @@ def encode_answers(answer_set: AnswerSet) -> EncodedAnswers:
         worker_index=wrk,
         label_index=matrix[obj, wrk],
     )
+
+
+# ----------------------------------------------------------------------
+# Incremental sufficient statistics (streaming ingestion)
+# ----------------------------------------------------------------------
+class AnswerStats:
+    """Mutable sufficient statistics over a *growing* answer stream.
+
+    The batch entry point :func:`encode_answers` flattens a full ``n × k``
+    matrix on every call — ``O(n·k)`` even when only one answer changed.
+    ``AnswerStats`` maintains the same flat encoding as an append-only log
+    plus delta-maintained aggregates, so streaming callers
+    (:class:`repro.streaming.ValidationSession`) pay ``O(1)`` amortized per
+    ingested answer:
+
+    * the ``(object, worker, label)`` triple log (geometrically grown);
+    * per-object label vote counts (majority initialization in ``O(n·m)``
+      without touching the answer log);
+    * per-worker answer counts;
+    * a masked-worker set (the §5.3 faulty-worker exclusion) applied at
+      encoding time instead of by copying matrix columns.
+
+    :meth:`encoded` produces an :class:`EncodedAnswers` that is **bit-for-bit
+    identical** to ``encode_answers(equivalent AnswerSet)``: answers are
+    lexicographically sorted by ``(object, worker)``, which is exactly the
+    row-major order ``np.nonzero`` yields, so every downstream kernel
+    computation (``np.add.at`` scatter order included) matches the batch
+    path exactly.
+
+    Dimensions may grow (:meth:`grow`) as unseen objects/workers appear in
+    the stream; label vocabulary size is fixed at construction.
+    """
+
+    __slots__ = ("_n_objects", "_n_workers", "_n_labels",
+                 "_obj", "_wrk", "_lab", "_n_answers",
+                 "_cells", "_by_object", "_masked",
+                 "_vote_counts", "_worker_answer_counts",
+                 "_encoded_cache", "_version")
+
+    def __init__(self, n_objects: int, n_workers: int, n_labels: int) -> None:
+        if n_objects < 0 or n_workers < 0:
+            raise ValueError("n_objects and n_workers must be >= 0, got "
+                             f"{n_objects} and {n_workers}")
+        if n_labels < 1:
+            raise ValueError(f"n_labels must be >= 1, got {n_labels}")
+        self._n_objects = int(n_objects)
+        self._n_workers = int(n_workers)
+        self._n_labels = int(n_labels)
+        capacity = 64
+        self._obj = np.empty(capacity, dtype=np.int64)
+        self._wrk = np.empty(capacity, dtype=np.int64)
+        self._lab = np.empty(capacity, dtype=np.int64)
+        self._n_answers = 0
+        #: (object, worker) -> label, for duplicate/conflict detection.
+        self._cells: dict[tuple[int, int], int] = {}
+        #: object -> positions into the log, for per-object delta queries.
+        self._by_object: dict[int, list[int]] = {}
+        self._masked: frozenset[int] = frozenset()
+        self._vote_counts = np.zeros((self._n_objects, self._n_labels))
+        self._worker_answer_counts = np.zeros(self._n_workers, dtype=np.int64)
+        self._encoded_cache: EncodedAnswers | None = None
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_answer_set(cls, answer_set: AnswerSet) -> "AnswerStats":
+        """Seed statistics from an existing batch answer set."""
+        stats = cls(answer_set.n_objects, answer_set.n_workers,
+                    answer_set.n_labels)
+        matrix = answer_set.matrix
+        obj, wrk = np.nonzero(matrix != MISSING)
+        stats.add_answers(obj, wrk, matrix[obj, wrk])
+        return stats
+
+    # ------------------------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        return self._n_objects
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def n_labels(self) -> int:
+        return self._n_labels
+
+    @property
+    def n_answers(self) -> int:
+        """Total ingested answers (masked workers' answers included)."""
+        return self._n_answers
+
+    @property
+    def masked_workers(self) -> frozenset[int]:
+        """Workers whose answers are currently excluded from encoding."""
+        return self._masked
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation (cache keys)."""
+        return self._version
+
+    def label_of(self, obj: int, worker: int) -> int:
+        """Ingested label for a cell (:data:`MISSING` when unanswered)."""
+        return self._cells.get((int(obj), int(worker)), MISSING)
+
+    def answers_of_object(self, obj: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(workers, labels)`` of every ingested answer for ``obj``."""
+        positions = self._by_object.get(int(obj), [])
+        idx = np.asarray(positions, dtype=np.int64)
+        return self._wrk[idx], self._lab[idx]
+
+    def objects_of_worker(self, worker: int) -> np.ndarray:
+        """Unique objects the worker answered (ascending)."""
+        log_workers = self._wrk[:self._n_answers]
+        return np.unique(self._obj[:self._n_answers][log_workers == int(worker)])
+
+    def vote_counts(self) -> np.ndarray:
+        """Per-object label vote counts over *unmasked* answers (copy)."""
+        return self._vote_counts.copy()
+
+    def worker_answer_counts(self) -> np.ndarray:
+        """Answers ingested per worker, masked or not (copy)."""
+        return self._worker_answer_counts.copy()
+
+    # ------------------------------------------------------------------
+    def grow(self, n_objects: int | None = None,
+             n_workers: int | None = None) -> None:
+        """Extend the object/worker dimensions (streams may introduce both).
+
+        Shrinking is rejected; aggregates are padded with zeros.
+        """
+        if n_objects is not None:
+            n_objects = int(n_objects)
+            if n_objects < self._n_objects:
+                raise ValueError(
+                    f"cannot shrink n_objects from {self._n_objects} "
+                    f"to {n_objects}")
+            if n_objects > self._n_objects:
+                extra = np.zeros((n_objects - self._n_objects,
+                                  self._n_labels))
+                self._vote_counts = np.vstack([self._vote_counts, extra])
+                self._n_objects = n_objects
+                self._bump()
+        if n_workers is not None:
+            n_workers = int(n_workers)
+            if n_workers < self._n_workers:
+                raise ValueError(
+                    f"cannot shrink n_workers from {self._n_workers} "
+                    f"to {n_workers}")
+            if n_workers > self._n_workers:
+                self._worker_answer_counts = np.concatenate([
+                    self._worker_answer_counts,
+                    np.zeros(n_workers - self._n_workers, dtype=np.int64)])
+                self._n_workers = n_workers
+                self._bump()
+
+    def add_answer(self, obj: int, worker: int, label: int) -> bool:
+        """Ingest one answer; returns ``False`` for an exact duplicate.
+
+        A conflicting re-answer for an already-answered cell raises
+        :class:`~repro.errors.InvalidAnswerSetError`, matching the batch
+        :meth:`~repro.core.answer_set.AnswerSet.from_triples` contract.
+        """
+        obj, worker, label = int(obj), int(worker), int(label)
+        if not 0 <= obj < self._n_objects:
+            raise InvalidAnswerSetError(
+                f"object index {obj} outside [0, {self._n_objects})")
+        if not 0 <= worker < self._n_workers:
+            raise InvalidAnswerSetError(
+                f"worker index {worker} outside [0, {self._n_workers})")
+        if not 0 <= label < self._n_labels:
+            raise InvalidAnswerSetError(
+                f"label code {label} outside [0, {self._n_labels})")
+        current = self._cells.get((obj, worker), MISSING)
+        if current != MISSING:
+            if current == label:
+                return False
+            raise InvalidAnswerSetError(
+                f"cell ({obj}, {worker}) already holds label {current}; "
+                f"conflicting re-answer {label} rejected")
+        position = self._n_answers
+        if position == self._obj.size:
+            self._reserve(2 * self._obj.size)
+        self._obj[position] = obj
+        self._wrk[position] = worker
+        self._lab[position] = label
+        self._n_answers += 1
+        self._cells[(obj, worker)] = label
+        self._by_object.setdefault(obj, []).append(position)
+        self._worker_answer_counts[worker] += 1
+        if worker not in self._masked:
+            self._vote_counts[obj, label] += 1.0
+        self._bump()
+        return True
+
+    def add_answers(self,
+                    objects: np.ndarray,
+                    workers: np.ndarray,
+                    labels: np.ndarray) -> int:
+        """Ingest a batch of answers; returns how many were new.
+
+        When the log is empty and the batch holds no duplicate cells (the
+        bulk-seeding case of :meth:`from_answer_set`), the aggregates are
+        updated with vectorized scatters instead of per-answer calls.
+        """
+        objects = np.asarray(objects, dtype=np.int64).ravel()
+        workers = np.asarray(workers, dtype=np.int64).ravel()
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        if objects.size and not self._cells \
+                and self._bulk_load(objects, workers, labels):
+            return int(objects.size)
+        added = 0
+        for obj, wrk, lab in zip(objects, workers, labels):
+            if self.add_answer(int(obj), int(wrk), int(lab)):
+                added += 1
+        return added
+
+    def _bulk_load(self, objects: np.ndarray, workers: np.ndarray,
+                   labels: np.ndarray) -> bool:
+        """Vectorized first fill; returns False to fall back on the loop."""
+        if objects.min() < 0 or objects.max() >= self._n_objects \
+                or workers.min() < 0 or workers.max() >= self._n_workers \
+                or labels.min() < 0 or labels.max() >= self._n_labels:
+            return False  # let add_answer raise the precise error
+        keys = objects * self._n_workers + workers
+        if np.unique(keys).size != keys.size:
+            return False  # in-batch duplicates need per-answer semantics
+        count = int(objects.size)
+        if count > self._obj.size:
+            capacity = self._obj.size
+            while capacity < count:
+                capacity *= 2
+            self._reserve(capacity)
+        self._obj[:count] = objects
+        self._wrk[:count] = workers
+        self._lab[:count] = labels
+        self._n_answers = count
+        self._cells = dict(zip(zip(objects.tolist(), workers.tolist()),
+                               labels.tolist()))
+        by_object: dict[int, list[int]] = {}
+        for position, obj in enumerate(objects.tolist()):
+            by_object.setdefault(obj, []).append(position)
+        self._by_object = by_object
+        np.add.at(self._worker_answer_counts, workers, 1)
+        if self._masked:
+            keep = ~np.isin(workers,
+                            np.fromiter(self._masked, dtype=np.int64))
+            np.add.at(self._vote_counts,
+                      (objects[keep], labels[keep]), 1.0)
+        else:
+            np.add.at(self._vote_counts, (objects, labels), 1.0)
+        self._bump()
+        return True
+
+    def set_masked_workers(self, workers) -> frozenset[int]:
+        """Replace the masked-worker set; returns the workers that toggled.
+
+        Vote counts are delta-adjusted by replaying only the toggled
+        workers' answers — ``O(answers of toggled workers)``, not ``O(A)``.
+        """
+        new_masked = frozenset(int(w) for w in workers)
+        for worker in new_masked:
+            if not 0 <= worker < self._n_workers:
+                raise InvalidAnswerSetError(
+                    f"worker index {worker} outside [0, {self._n_workers})")
+        toggled = new_masked ^ self._masked
+        if not toggled:
+            return frozenset()
+        log_workers = self._wrk[:self._n_answers]
+        for worker in toggled:
+            positions = np.flatnonzero(log_workers == worker)
+            delta = -1.0 if worker in new_masked else 1.0
+            np.add.at(self._vote_counts,
+                      (self._obj[positions], self._lab[positions]), delta)
+        self._masked = new_masked
+        self._bump()
+        return toggled
+
+    # ------------------------------------------------------------------
+    def encoded(self) -> EncodedAnswers:
+        """The current (masked-filtered) flat encoding, cached per version.
+
+        Sorted by ``(object, worker)`` so it is bit-for-bit identical to
+        :func:`encode_answers` on the equivalent answer matrix.
+        """
+        if self._encoded_cache is not None:
+            return self._encoded_cache
+        obj = self._obj[:self._n_answers]
+        wrk = self._wrk[:self._n_answers]
+        lab = self._lab[:self._n_answers]
+        if self._masked:
+            keep = ~np.isin(wrk, np.fromiter(self._masked, dtype=np.int64))
+            obj, wrk, lab = obj[keep], wrk[keep], lab[keep]
+        order = np.lexsort((wrk, obj))
+        self._encoded_cache = EncodedAnswers(
+            n_objects=self._n_objects,
+            n_workers=self._n_workers,
+            n_labels=self._n_labels,
+            object_index=np.ascontiguousarray(obj[order]),
+            worker_index=np.ascontiguousarray(wrk[order]),
+            label_index=np.ascontiguousarray(lab[order]),
+        )
+        return self._encoded_cache
+
+    def majority_assignment(self) -> np.ndarray:
+        """Majority initialization from the maintained vote counts.
+
+        Counts are whole numbers, so any ingestion order sums to the exact
+        same floats as :func:`initial_assignment_majority` over
+        :meth:`encoded` — the cold-start path stays bit-for-bit stable.
+        """
+        return normalize_rows(self._vote_counts.copy())
+
+    def to_matrix(self, include_masked: bool = True) -> np.ndarray:
+        """Materialize the ``n × k`` answer matrix (⊥ = :data:`MISSING`)."""
+        matrix = np.full((self._n_objects, self._n_workers), MISSING,
+                         dtype=np.int64)
+        obj = self._obj[:self._n_answers]
+        wrk = self._wrk[:self._n_answers]
+        lab = self._lab[:self._n_answers]
+        matrix[obj, wrk] = lab
+        if not include_masked and self._masked:
+            matrix[:, sorted(self._masked)] = MISSING
+        return matrix
+
+    # ------------------------------------------------------------------
+    def _reserve(self, capacity: int) -> None:
+        for name in ("_obj", "_wrk", "_lab"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[:self._n_answers] = old[:self._n_answers]
+            setattr(self, name, grown)
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._encoded_cache = None
+
+    def __repr__(self) -> str:
+        return (f"AnswerStats(n_objects={self._n_objects}, "
+                f"n_workers={self._n_workers}, n_labels={self._n_labels}, "
+                f"n_answers={self._n_answers}, "
+                f"masked={sorted(self._masked)})")
+
+
+def update_stats(stats: AnswerStats,
+                 delta_answers) -> AnswerStats:
+    """Apply a batch of new ``(object, worker, label)`` answers to ``stats``.
+
+    The incremental sibling of :func:`encode_answers`: instead of
+    re-flattening a full matrix, only the delta is ingested and the
+    maintained sufficient statistics (triple log, vote counts, per-worker
+    counts) are updated in place. ``delta_answers`` is any iterable of
+    integer triples (an ``EncodedAnswers`` is accepted too). Returns
+    ``stats`` for chaining.
+    """
+    if isinstance(delta_answers, EncodedAnswers):
+        stats.add_answers(delta_answers.object_index,
+                          delta_answers.worker_index,
+                          delta_answers.label_index)
+        return stats
+    for obj, wrk, lab in delta_answers:
+        stats.add_answer(int(obj), int(wrk), int(lab))
+    return stats
 
 
 @dataclass(frozen=True)

@@ -72,6 +72,8 @@ class IncrementalEM:
                  answer_set: AnswerSet,
                  validation: ExpertValidation,
                  previous: ProbabilisticAnswerSet | None = None,
+                 *,
+                 encoded: em_kernel.EncodedAnswers | None = None,
                  ) -> ProbabilisticAnswerSet:
         """Aggregate answers under the current expert validation.
 
@@ -87,6 +89,12 @@ class IncrementalEM:
             iteration. When provided, EM warm-starts from its confusion
             matrices and priors (one E-step reconstructs ``U``); when
             ``None``, the configured cold-start policy applies.
+        encoded:
+            Externally maintained flat encoding of ``answer_set`` (e.g. the
+            delta-maintained :meth:`repro.core.em_kernel.AnswerStats.encoded`
+            of a streaming session). When given, the ``O(n·k)`` re-flattening
+            of the matrix is skipped; the caller is responsible for the
+            encoding matching ``answer_set``.
 
         Returns
         -------
@@ -94,7 +102,17 @@ class IncrementalEM:
             The new snapshot ``P_s`` (its ``n_em_iterations`` counts this
             invocation only).
         """
-        encoded = em_kernel.encode_answers(answer_set)
+        if encoded is None:
+            encoded = em_kernel.encode_answers(answer_set)
+        elif (encoded.n_objects != answer_set.n_objects
+                or encoded.n_workers != answer_set.n_workers
+                or encoded.n_labels != answer_set.n_labels):
+            raise ValueError(
+                f"externally maintained encoding has shape "
+                f"({encoded.n_objects}×{encoded.n_workers}, "
+                f"{encoded.n_labels} labels) but the answer set has "
+                f"({answer_set.n_objects}×{answer_set.n_workers}, "
+                f"{answer_set.n_labels} labels)")
         validated_objects = validation.validated_indices()
         validated_labels = validation.validated_labels()
 

@@ -86,3 +86,12 @@ class CostModelError(ReproError):
 
 class ExpertError(ReproError):
     """A simulated or interactive expert could not produce a validation."""
+
+
+class StreamingError(ReproError):
+    """A streaming validation session was used inconsistently.
+
+    Raised when a snapshot is requested before any refinement has run, or
+    when an externally supplied model does not match the session's current
+    dimensions.
+    """

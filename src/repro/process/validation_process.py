@@ -11,6 +11,14 @@ The same class runs every strategy — hybrid, pure information-gain, pure
 worker-driven, the max-entropy baseline, random — because strategies are
 plug-in selectors; Algorithm 1's spammer handling is keyed to iterations in
 which the worker-driven branch was drawn, exactly as in the paper.
+
+Since the streaming engine landed, the loop is driven through a
+:class:`~repro.streaming.ValidationSession` instead of rebuilding the flat
+answer encoding and aggregation state from the full matrix every iteration:
+expert validations and worker maskings are ingested as deltas and every
+``conclude`` is a warm-started refinement over the session's maintained
+sufficient statistics. The session's exact path is bit-for-bit consistent
+with the former rebuild-per-step behaviour, so results are unchanged.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core import em_kernel
 from repro.core.answer_set import AnswerSet
 from repro.core.iem import IncrementalEM
 from repro.core.instantiation import deterministic_assignment
@@ -36,6 +45,7 @@ from repro.process.faulty_filter import FaultyWorkerFilter
 from repro.process.goals import NeverSatisfied, ValidationGoal
 from repro.process.report import StepRecord, ValidationReport
 from repro.process.weighting import dynamic_weight
+from repro.streaming.session import ValidationSession
 from repro.utils.rng import ensure_rng
 from repro.workers.spammer_detection import SpammerDetector
 
@@ -52,7 +62,10 @@ class ValidationProcess:
     strategy:
         Guidance strategy; defaults to the paper's hybrid approach.
     aggregator:
-        i-EM instance used for every ``conclude``; defaults to a fresh
+        i-EM instance whose knobs (init policy, ``max_iter``, ``tol``,
+        ``smoothing``, rng) configure the streaming session driving the
+        main-line ``conclude``s, and which guidance strategies use for
+        look-ahead concludes; defaults to a fresh
         :class:`~repro.core.iem.IncrementalEM`.
     goal:
         Stopping predicate Δ; defaults to "never" (budget-bound only).
@@ -126,18 +139,42 @@ class ValidationProcess:
                 f"got shape {self.gold.shape}")
         self.rng = ensure_rng(rng)
 
-        # Mutable run state (Algorithm 1, lines 1–4).
-        self.validation = ExpertValidation.empty_for(answer_set)
+        # Mutable run state (Algorithm 1, lines 1–4), held by a streaming
+        # session: validations and worker maskings are ingested as deltas
+        # and every conclude is a warm-started refinement (bit-for-bit
+        # equal to the former rebuild-per-step aggregation). An aggregator
+        # with an *overridden* conclude keeps driving the legacy
+        # rebuild-per-step path so its custom behaviour is not bypassed.
+        self._session_driven = \
+            type(self.aggregator).conclude is IncrementalEM.conclude
+        self.session = ValidationSession.from_answer_set(
+            answer_set,
+            init=getattr(self.aggregator, "init", "majority"),
+            max_iter=getattr(self.aggregator, "max_iter",
+                             em_kernel.DEFAULT_MAX_ITER),
+            tol=getattr(self.aggregator, "tol", em_kernel.DEFAULT_TOL),
+            smoothing=getattr(self.aggregator, "smoothing",
+                              em_kernel.DEFAULT_SMOOTHING),
+            rng=getattr(self.aggregator, "rng", None))
+        self.validation = self.session.validation
         self.faulty_filter = FaultyWorkerFilter()
         self.hybrid_weight = 0.0
         self.iteration = 0
         self.effort = 0
         self.records: list[StepRecord] = []
         self._active_answer_set = answer_set
-        self.prob_set: ProbabilisticAnswerSet = self.aggregator.conclude(
-            answer_set, self.validation)
+        self.prob_set: ProbabilisticAnswerSet = self._conclude(previous=None)
         self._initial_precision = self.current_precision()
         self._initial_uncertainty = answer_set_uncertainty(self.prob_set)
+
+    def _conclude(self,
+                  previous: ProbabilisticAnswerSet | None,
+                  ) -> ProbabilisticAnswerSet:
+        """Integrate the current validation state into a new snapshot."""
+        if self._session_driven:
+            return self.session.conclude_snapshot()
+        return self.aggregator.conclude(self._active_answer_set,
+                                        self.validation, previous=previous)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,7 +226,7 @@ class ValidationProcess:
             "beliefs": np.array(self.prob_set.assignment[obj]),
         }))
         error_rate = 1.0 - float(self.prob_set.assignment[obj, label])
-        self.validation.assign(obj, label, overwrite=True)
+        self.session.add_validation(obj, label, overwrite=True)
         self.effort += 1
         self.iteration += 1
 
@@ -199,14 +236,15 @@ class ValidationProcess:
         self.faulty_filter.observe(detection)
         if self.handle_faulty and worker_branch:
             self.faulty_filter.commit()
-            self._active_answer_set = self.faulty_filter.apply(self.answer_set)
+            self.session.set_masked_workers(self.faulty_filter.suspected)
+            self._active_answer_set = self.session.answer_set
         spammer_ratio = detection.faulty_ratio()
         self.hybrid_weight = dynamic_weight(
             error_rate, spammer_ratio, self.validation.ratio())
 
-        # (4) Integrate the validation (conclude + filter).
-        self.prob_set = self.aggregator.conclude(
-            self._active_answer_set, self.validation, previous=self.prob_set)
+        # (4) Integrate the validation (conclude + filter): a warm-started
+        # refinement over the session's delta-maintained statistics.
+        self.prob_set = self._conclude(previous=self.prob_set)
 
         # (5) Periodic confirmation check for erroneous expert input (§5.5).
         reconsidered: tuple[int, ...] = ()
@@ -245,13 +283,12 @@ class ValidationProcess:
                 break
             new_label = int(self.expert.reconsider(int(obj)))
             if new_label != self.validation.label_of(int(obj)):
-                self.validation.assign(int(obj), new_label, overwrite=True)
+                self.session.add_validation(int(obj), new_label,
+                                            overwrite=True)
             self.effort += 1
             reconsidered.append(int(obj))
         if reconsidered:
-            self.prob_set = self.aggregator.conclude(
-                self._active_answer_set, self.validation,
-                previous=self.prob_set)
+            self.prob_set = self._conclude(previous=self.prob_set)
         return tuple(reconsidered)
 
     # ------------------------------------------------------------------

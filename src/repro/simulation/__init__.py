@@ -25,15 +25,31 @@ from repro.simulation.realworld import (
     dataset_statistics,
     load_dataset,
 )
+from repro.simulation.stream import (
+    AnswerEvent,
+    ReplaySummary,
+    ValidationEvent,
+    answer_stream,
+    merge_streams,
+    replay,
+    validation_stream,
+)
 
 __all__ = [
     "DATASET_NAMES",
     "DATASET_SPECS",
+    "AnswerEvent",
     "CrowdConfig",
     "Dataset",
     "DatasetSpec",
+    "ReplaySummary",
     "SimulatedCrowd",
+    "ValidationEvent",
     "allocate_types",
+    "answer_stream",
+    "merge_streams",
+    "replay",
+    "validation_stream",
     "apply_difficulty",
     "confusion_for_type",
     "dataset_statistics",

@@ -1,0 +1,191 @@
+"""Replay a simulated crowd as a timed answer/validation event stream.
+
+Turns a :class:`~repro.simulation.crowd.SimulatedCrowd` — a static matrix
+plus hidden gold — into what a live deployment actually sees: a
+time-ordered sequence of answer events (workers submitting labels) and
+validation events (an expert asserting ground truth), with Poisson arrival
+times. The streams feed :class:`repro.streaming.ValidationSession` through
+:func:`replay`, which is how the streaming engine is exercised end-to-end
+in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.answer_set import MISSING
+from repro.simulation.crowd import SimulatedCrowd
+from repro.utils.rng import ensure_rng
+
+#: Supported replay orders for :func:`answer_stream`.
+ORDERS = ("shuffled", "by_object", "by_worker")
+
+
+@dataclass(frozen=True)
+class AnswerEvent:
+    """One crowd answer arriving at ``time``."""
+
+    time: float
+    object_index: int
+    worker_index: int
+    label: int
+
+
+@dataclass(frozen=True)
+class ValidationEvent:
+    """One expert validation arriving at ``time``."""
+
+    time: float
+    object_index: int
+    label: int
+
+
+def answer_stream(crowd: SimulatedCrowd,
+                  *,
+                  rate: float = 100.0,
+                  order: str = "shuffled",
+                  rng: np.random.Generator | int | None = None,
+                  ) -> Iterator[AnswerEvent]:
+    """Yield every answer of ``crowd`` as a timed event.
+
+    Parameters
+    ----------
+    rate:
+        Mean arrivals per unit time; inter-arrival gaps are exponential
+        (Poisson process).
+    order:
+        ``"shuffled"`` (random arrival order — the realistic default),
+        ``"by_object"`` (row-major), or ``"by_worker"`` (column-major, a
+        worker finishing their batch in one sitting).
+    """
+    if order not in ORDERS:
+        raise ValueError(f"order must be one of {ORDERS}, got {order!r}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    generator = ensure_rng(rng)
+    matrix = crowd.answer_set.matrix
+    obj, wrk = np.nonzero(matrix != MISSING)
+    if order == "shuffled":
+        permutation = generator.permutation(obj.size)
+        obj, wrk = obj[permutation], wrk[permutation]
+    elif order == "by_worker":
+        column_major = np.lexsort((obj, wrk))
+        obj, wrk = obj[column_major], wrk[column_major]
+    time = 0.0
+    for i, j in zip(obj, wrk):
+        time += float(generator.exponential(1.0 / rate))
+        yield AnswerEvent(time=time, object_index=int(i),
+                          worker_index=int(j), label=int(matrix[i, j]))
+
+
+def validation_stream(crowd: SimulatedCrowd,
+                      *,
+                      rate: float = 1.0,
+                      limit: int | None = None,
+                      start_time: float = 0.0,
+                      rng: np.random.Generator | int | None = None,
+                      ) -> Iterator[ValidationEvent]:
+    """Yield expert validations (gold labels) for random objects over time.
+
+    Models the §3.1 expert working alongside the crowd: objects are drawn
+    without replacement in random order, each asserted with its gold label,
+    at Poisson times starting from ``start_time``. ``limit`` caps the
+    number of validations (default: all objects).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    generator = ensure_rng(rng)
+    objects = generator.permutation(crowd.answer_set.n_objects)
+    if limit is not None:
+        objects = objects[:int(limit)]
+    time = float(start_time)
+    for obj in objects:
+        time += float(generator.exponential(1.0 / rate))
+        yield ValidationEvent(time=time, object_index=int(obj),
+                              label=int(crowd.gold[obj]))
+
+
+def merge_streams(*streams: Iterable) -> Iterator:
+    """Merge timed event streams into one, ordered by event time."""
+    return heapq.merge(*streams, key=lambda event: event.time)
+
+
+@dataclass(frozen=True)
+class ReplaySummary:
+    """What happened while replaying a stream into a session."""
+
+    n_answers: int
+    n_validations: int
+    n_concludes: int
+    total_em_iterations: int
+    duration: float
+
+    @property
+    def n_events(self) -> int:
+        return self.n_answers + self.n_validations
+
+
+def replay(events: Iterable,
+           session,
+           *,
+           conclude_every: int | None = None,
+           refresher=None) -> ReplaySummary:
+    """Drive a :class:`~repro.streaming.ValidationSession` with an event stream.
+
+    Parameters
+    ----------
+    events:
+        Timed :class:`AnswerEvent`/:class:`ValidationEvent` items (e.g.
+        from :func:`merge_streams`). Answers for unseen objects/workers
+        grow the session.
+    conclude_every:
+        Refine after every this-many events; ``None`` refines only once,
+        after the stream ends. A refinement always runs at the end.
+    refresher:
+        Optional :class:`repro.streaming.ShardedRefresher`; when given,
+        refinements go through partition-scoped refresh instead of the
+        exact full conclude.
+    """
+    if conclude_every is not None and conclude_every < 1:
+        raise ValueError("conclude_every must be >= 1 or None, "
+                         f"got {conclude_every}")
+    concludes_before = session.n_concludes
+    iterations_before = session.total_em_iterations
+    n_answers = n_validations = 0
+    duration = 0.0
+
+    def refine() -> None:
+        if refresher is not None:
+            refresher.refresh(session)
+        else:
+            session.conclude()
+
+    for event in events:
+        if isinstance(event, AnswerEvent):
+            session.add_answer(event.object_index, event.worker_index,
+                               event.label, grow=True)
+            n_answers += 1
+        elif isinstance(event, ValidationEvent):
+            if event.object_index >= session.n_objects:
+                session.grow(n_objects=event.object_index + 1)
+            session.add_validation(event.object_index, event.label,
+                                   overwrite=True)
+            n_validations += 1
+        else:
+            raise TypeError(f"unknown stream event {event!r}")
+        duration = max(duration, float(event.time))
+        if conclude_every is not None \
+                and (n_answers + n_validations) % conclude_every == 0:
+            refine()
+    refine()
+    return ReplaySummary(
+        n_answers=n_answers,
+        n_validations=n_validations,
+        n_concludes=session.n_concludes - concludes_before,
+        total_em_iterations=session.total_em_iterations - iterations_before,
+        duration=duration,
+    )

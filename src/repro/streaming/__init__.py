@@ -1,0 +1,62 @@
+"""Streaming validation engine: incremental ingestion, warm-started i-EM.
+
+The batch pipeline (``AnswerSet`` → ``encode_answers`` →
+``IncrementalEM.conclude``) re-flattens the full ``n × k`` answer matrix and
+re-aggregates from scratch on every call — fine for reproducing the paper's
+figures, fatal for serving continuously arriving crowd traffic. This package
+turns that pipeline into a *delta-maintained* one, following the paper's own
+view-maintenance principle (§4.1): each new answer or expert validation
+propagates only its marginal change.
+
+Three pieces:
+
+* :class:`ValidationSession` — the online engine. Ingests answers and
+  expert validations incrementally, maintains mutable sufficient statistics
+  (flat answer log, vote counts, validated-confusion counts, per-object
+  log-likelihood rows) as deltas, and refines by warm-starting the i-EM
+  kernel from the previous model. The exact refinement path is bit-for-bit
+  consistent with the batch kernel on identical inputs, so streaming and
+  batch answers never disagree.
+* :class:`ShardedRefresher` — partition-aware refresh. Reuses
+  :mod:`repro.partitioning` to cut the answer matrix into dense blocks and
+  :mod:`repro.parallel` to refine, shard-parallel, only the blocks whose
+  statistics changed.
+* :mod:`repro.simulation.stream` (sibling module) — replays a simulated
+  crowd as a timed answer/validation event stream for testing and
+  benchmarking.
+
+Quickstart
+----------
+>>> from repro.streaming import ValidationSession
+>>> session = ValidationSession(n_objects=3, n_workers=2, n_labels=2)
+>>> session.add_answers([(0, 0, 0), (0, 1, 0), (1, 0, 1), (2, 1, 1)])
+4
+>>> result = session.conclude()            # cold start
+>>> session.add_validation(1, 1)           # expert input arrives
+>>> session.add_answer(2, 0, 1)            # another crowd answer arrives
+True
+>>> result = session.conclude()            # warm-started, delta-driven
+>>> [session.map_label(obj) for obj in range(3)]
+[0, 1, 1]
+
+Embedding in the batch world::
+
+    session = ValidationSession.from_answer_set(answer_set)
+    prob_set = session.conclude_snapshot()   # a ProbabilisticAnswerSet
+
+Scaling refreshes with partitioning::
+
+    from repro.parallel import Executor
+    refresher = ShardedRefresher(max_objects_per_block=200,
+                                 executor=Executor("threads"))
+    refresher.refresh(session)               # only dirty shards are solved
+"""
+
+from repro.streaming.session import ValidationSession
+from repro.streaming.sharded import RefreshReport, ShardedRefresher
+
+__all__ = [
+    "RefreshReport",
+    "ShardedRefresher",
+    "ValidationSession",
+]

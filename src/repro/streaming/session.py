@@ -1,0 +1,541 @@
+"""Streaming validation sessions: incremental ingestion + warm-started i-EM.
+
+A :class:`ValidationSession` is the online counterpart of the batch
+pipeline ``AnswerSet → encode_answers → IncrementalEM.conclude``. Instead of
+rebuilding the flat answer encoding and re-running ``conclude`` over the
+whole matrix on every event, the session
+
+* ingests answers and expert validations *incrementally*, maintaining
+  mutable sufficient statistics (:class:`repro.core.em_kernel.AnswerStats`:
+  the triple log, per-object vote counts, per-worker counts; plus
+  delta-maintained per-worker validated-confusion counts and per-object
+  log-likelihood rows) as deltas;
+* refines by *warm-starting* the i-EM kernel from the previous model
+  (confusion matrices + priors), exactly the paper's view-maintenance
+  principle (§4.1), so each :meth:`~ValidationSession.conclude` costs a
+  handful of EM iterations instead of a cold solve;
+* tracks which objects' statistics changed (``dirty_objects``) so a
+  partition-aware refresher (:mod:`repro.streaming.sharded`) can refresh
+  only the shards that actually moved.
+
+The exact-refinement path is **bit-for-bit consistent** with the batch
+kernel: ``session.conclude()`` produces the same floats as
+``IncrementalEM.conclude`` on the equivalent batch ``AnswerSet`` with the
+same warm-start state, because both feed identical inputs (the sorted flat
+encoding, the same initial assignment) to :func:`repro.core.em_kernel.run_em`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.answer_set import MISSING, AnswerSet
+from repro.core import em_kernel
+from repro.core.confusion import PROB_FLOOR
+from repro.core.probabilistic import ProbabilisticAnswerSet
+from repro.core.validation import ExpertValidation
+from repro.errors import InvalidValidationError, StreamingError
+from repro.utils.rng import ensure_rng
+
+
+class ValidationSession:
+    """Online answer validation over a continuously arriving crowd stream.
+
+    Parameters
+    ----------
+    n_objects, n_workers, n_labels:
+        Initial dimensions. Objects and workers may grow later
+        (:meth:`grow`, or implicitly via ``add_answer(..., grow=True)``);
+        the label vocabulary is fixed.
+    labels, objects, workers:
+        Optional vocabularies used when materializing snapshots; defaults
+        mirror :class:`~repro.core.answer_set.AnswerSet` (``l1..lm`` etc.).
+    init:
+        Cold-start policy (``"majority"``, ``"random"``, ``"uniform"``)
+        used for the first refinement and after dimension growth;
+        subsequent refinements warm-start from the previous model.
+    max_iter, tol, smoothing:
+        Kernel knobs; see :func:`repro.core.em_kernel.run_em`.
+    rng:
+        Randomness for the ``"random"`` cold start.
+
+    Examples
+    --------
+    >>> session = ValidationSession(n_objects=2, n_workers=2, n_labels=2)
+    >>> session.add_answer(0, 0, 0); session.add_answer(0, 1, 0)
+    True
+    True
+    >>> session.add_answer(1, 0, 1)
+    True
+    >>> result = session.conclude()          # cold start (majority init)
+    >>> session.add_validation(1, 0)         # expert input streams in
+    >>> result = session.conclude()          # warm-started refinement
+    >>> session.map_label(1)
+    0
+    """
+
+    def __init__(self,
+                 n_objects: int,
+                 n_workers: int,
+                 n_labels: int,
+                 *,
+                 labels: tuple[str, ...] | None = None,
+                 objects: tuple[str, ...] | None = None,
+                 workers: tuple[str, ...] | None = None,
+                 init: str = "majority",
+                 max_iter: int = em_kernel.DEFAULT_MAX_ITER,
+                 tol: float = em_kernel.DEFAULT_TOL,
+                 smoothing: float = em_kernel.DEFAULT_SMOOTHING,
+                 rng: np.random.Generator | int | None = None) -> None:
+        if init not in ("majority", "random", "uniform"):
+            raise ValueError(f"unknown init policy {init!r}")
+        self.init = init
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.smoothing = float(smoothing)
+        self.rng = ensure_rng(rng)
+
+        self._stats = em_kernel.AnswerStats(n_objects, n_workers, n_labels)
+        self._labels = None if labels is None else tuple(labels)
+        self._objects = None if objects is None else tuple(objects)
+        self._workers = None if workers is None else tuple(workers)
+        self._validation = ExpertValidation(n_objects, n_labels)
+
+        # Delta-maintained per-worker validated-confusion counts (§5.3):
+        # entry (w, g, l) counts worker w answering l on an object the
+        # expert asserted as g. Counts run over *all* ingested answers
+        # (masking excludes answers from aggregation, not from evidence).
+        self._vconf = np.zeros((n_workers, n_labels, n_labels),
+                               dtype=np.int64)
+        self._vconf_sync = self._validation.as_array()
+
+        # Last installed model and the statistics epoch it refined.
+        self._model: em_kernel.EMResult | None = None
+        self._model_dims: tuple[int, int] | None = None
+        self._concluded_validated: np.ndarray | None = None
+        self._dirty: set[int] = set()
+
+        # Delta-maintained per-object log-likelihood rows under the current
+        # model (read path); rebuilt lazily after each refinement.
+        self._log_like: np.ndarray | None = None
+        self._log_conf: np.ndarray | None = None
+
+        self._answer_set_cache: tuple[int, AnswerSet] | None = None
+
+        #: Refinements run and EM iterations spent across them.
+        self.n_concludes = 0
+        self.total_em_iterations = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_answer_set(cls, answer_set: AnswerSet,
+                        validation: ExpertValidation | None = None,
+                        **kwargs) -> "ValidationSession":
+        """Seed a session from a batch answer set (and optional validation).
+
+        The canonical embedding path: a
+        :class:`~repro.process.validation_process.ValidationProcess` starts
+        from a fixed crowd matrix and streams only expert validations.
+        """
+        session = cls(answer_set.n_objects, answer_set.n_workers,
+                      answer_set.n_labels, labels=answer_set.labels,
+                      objects=answer_set.objects, workers=answer_set.workers,
+                      **kwargs)
+        matrix = answer_set.matrix
+        obj, wrk = np.nonzero(matrix != MISSING)
+        session._stats.add_answers(obj, wrk, matrix[obj, wrk])
+        if validation is not None:
+            for index, label in validation.as_dict().items():
+                session.add_validation(index, label)
+        session._answer_set_cache = (session._stats.version, answer_set)
+        session._dirty = set(range(answer_set.n_objects))
+        return session
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        return self._stats.n_objects
+
+    @property
+    def n_workers(self) -> int:
+        return self._stats.n_workers
+
+    @property
+    def n_labels(self) -> int:
+        return self._stats.n_labels
+
+    @property
+    def n_answers(self) -> int:
+        return self._stats.n_answers
+
+    @property
+    def n_validated(self) -> int:
+        return self._validation.count
+
+    @property
+    def stats(self) -> em_kernel.AnswerStats:
+        """The maintained sufficient statistics (mutate via the session)."""
+        return self._stats
+
+    @property
+    def validation(self) -> ExpertValidation:
+        """Live view of the expert-validation function.
+
+        Prefer :meth:`add_validation` for writes — it additionally keeps
+        the delta-maintained validated-confusion counts in sync (direct
+        writes through this view are healed lazily, at a small cost).
+        """
+        return self._validation
+
+    @property
+    def model(self) -> em_kernel.EMResult | None:
+        """The last installed refinement result (``None`` before the first)."""
+        return self._model
+
+    @property
+    def has_model(self) -> bool:
+        return self._model is not None
+
+    @property
+    def masked_workers(self) -> frozenset[int]:
+        return self._stats.masked_workers
+
+    @property
+    def dirty_objects(self) -> frozenset[int]:
+        """Objects whose statistics changed since the last refinement."""
+        dirty = set(self._dirty)
+        if self._concluded_validated is not None:
+            current = self._validation.as_array()
+            base = self._concluded_validated
+            if current.size == base.size:
+                dirty.update(np.flatnonzero(current != base).tolist())
+            else:
+                dirty.update(np.flatnonzero(
+                    current[:base.size] != base).tolist())
+                dirty.update(range(base.size, current.size))
+        return frozenset(dirty)
+
+    @property
+    def answer_set(self) -> AnswerSet:
+        """Materialized (masked) answer set; cached per statistics version."""
+        version = self._stats.version
+        if self._answer_set_cache is not None \
+                and self._answer_set_cache[0] == version:
+            return self._answer_set_cache[1]
+        labels = self._labels if self._labels is not None \
+            else tuple(f"l{c + 1}" for c in range(self.n_labels))
+        objects = self._objects \
+            if self._objects is not None \
+            and len(self._objects) == self.n_objects else None
+        workers = self._workers \
+            if self._workers is not None \
+            and len(self._workers) == self.n_workers else None
+        answer_set = AnswerSet(self._stats.to_matrix(include_masked=False),
+                               labels, objects, workers)
+        self._answer_set_cache = (version, answer_set)
+        return answer_set
+
+    def validated_confusion_counts(self) -> np.ndarray:
+        """Delta-maintained §5.3 validated-confusion counts (``k × m × m``).
+
+        Equals :func:`repro.core.confusion.validated_confusion_counts` over
+        the unmasked answer set and current validation. Direct writes to
+        the :attr:`validation` view are detected and healed here.
+        """
+        self._heal_vconf()
+        return self._vconf.copy()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def grow(self, n_objects: int | None = None,
+             n_workers: int | None = None) -> None:
+        """Extend dimensions mid-stream (new objects/workers appeared).
+
+        Growth invalidates the warm start: the next :meth:`conclude` cold
+        starts with the configured ``init`` policy, matching what a batch
+        replay without a shape-compatible previous snapshot would do.
+        """
+        # Direct-view validation writes must be folded into the confusion
+        # counts before the sync snapshot is rebuilt for the new size.
+        self._heal_vconf()
+        old_n, old_k = self.n_objects, self.n_workers
+        self._stats.grow(n_objects=n_objects, n_workers=n_workers)
+        if self.n_objects > old_n:
+            validation = ExpertValidation(self.n_objects, self.n_labels)
+            for index, label in self._validation.as_dict().items():
+                validation.assign(index, label)
+            self._validation = validation
+            self._dirty.update(range(old_n, self.n_objects))
+        if self.n_workers > old_k:
+            grown = np.zeros((self.n_workers, self.n_labels, self.n_labels),
+                             dtype=np.int64)
+            grown[:old_k] = self._vconf
+            self._vconf = grown
+        if (self.n_objects, self.n_workers) != (old_n, old_k):
+            self._vconf_sync = self._validation.as_array()
+            self._log_like = None
+
+    def add_answer(self, obj: int, worker: int, label: int,
+                   *, grow: bool = False) -> bool:
+        """Ingest one crowd answer; returns ``False`` for exact duplicates.
+
+        With ``grow=True``, out-of-range object/worker indices extend the
+        dimensions instead of raising.
+        """
+        obj, worker, label = int(obj), int(worker), int(label)
+        if grow and (obj >= self.n_objects or worker >= self.n_workers):
+            self.grow(n_objects=max(self.n_objects, obj + 1),
+                      n_workers=max(self.n_workers, worker + 1))
+        # Heal any direct-view validation drift for this object *before*
+        # the answer log changes, so the delta below is never re-counted.
+        if 0 <= obj < self.n_objects \
+                and self._vconf_sync[obj] != self._validation.label_of(obj):
+            self._heal_object(obj)
+        added = self._stats.add_answer(obj, worker, label)
+        if not added:
+            return False
+        self._dirty.add(obj)
+        asserted = self._validation.label_of(obj)
+        if asserted != MISSING:
+            self._vconf[worker, asserted, label] += 1
+        if self._log_like is not None \
+                and worker not in self._stats.masked_workers:
+            self._log_like[obj] += self._log_conf[worker, :, label]
+        return True
+
+    def add_answers(self, triples: Iterable[tuple[int, int, int]],
+                    *, grow: bool = False) -> int:
+        """Ingest a batch of ``(object, worker, label)`` answers."""
+        added = 0
+        for obj, worker, label in triples:
+            if self.add_answer(obj, worker, label, grow=grow):
+                added += 1
+        return added
+
+    def add_validation(self, obj: int, label: int,
+                       *, overwrite: bool = False) -> None:
+        """Ingest one expert validation (the stream's ground-truth events).
+
+        Updates the validated-confusion counts by delta: only the answers
+        of ``obj`` are touched, never the full matrix.
+        """
+        obj, label = int(obj), int(label)
+        if not 0 <= obj < self.n_objects:
+            raise InvalidValidationError(
+                f"object index {obj} outside [0, {self.n_objects})")
+        self._heal_vconf()
+        previous = self._validation.label_of(obj)
+        self._validation.assign(obj, label, overwrite=overwrite)
+        if previous == label:
+            return
+        workers, answered = self._stats.answers_of_object(obj)
+        if previous != MISSING:
+            np.add.at(self._vconf, (workers, previous, answered), -1)
+        np.add.at(self._vconf, (workers, label, answered), 1)
+        self._vconf_sync[obj] = label
+        self._dirty.add(obj)
+
+    def retract_validation(self, obj: int) -> None:
+        """Remove the expert input for ``obj``."""
+        obj = int(obj)
+        if not 0 <= obj < self.n_objects:
+            raise InvalidValidationError(
+                f"object index {obj} outside [0, {self.n_objects})")
+        self._heal_vconf()
+        previous = self._validation.label_of(obj)
+        self._validation.retract(obj)
+        if previous != MISSING:
+            workers, answered = self._stats.answers_of_object(obj)
+            np.add.at(self._vconf, (workers, previous, answered), -1)
+            self._vconf_sync[obj] = MISSING
+            self._dirty.add(obj)
+
+    def set_masked_workers(self, workers: Iterable[int]) -> frozenset[int]:
+        """Exclude (or re-include) workers' answers from aggregation (§5.3).
+
+        Returns the workers whose state toggled; their objects become
+        dirty. Validated-confusion counts are unaffected — masking removes
+        answers from aggregation, not from detection evidence.
+        """
+        toggled = self._stats.set_masked_workers(workers)
+        if toggled:
+            for worker in toggled:
+                self._dirty.update(
+                    self._stats.objects_of_worker(worker).tolist())
+            self._log_like = None
+        return toggled
+
+    # ------------------------------------------------------------------
+    # Refinement
+    # ------------------------------------------------------------------
+    def conclude(self) -> em_kernel.EMResult:
+        """Refine the model over the maintained statistics (exact path).
+
+        Warm-starts from the previous refinement when dimensions are
+        unchanged; cold-starts (``init`` policy) otherwise. Bit-for-bit
+        equal to ``IncrementalEM.conclude`` on the equivalent batch answer
+        set with the same warm-start state.
+        """
+        encoded = self._stats.encoded()
+        validated = self._validation.validated_indices()
+        labels = self._validation.validated_labels()
+        if self._model is not None \
+                and self._model_dims == (self.n_objects, self.n_workers):
+            initial = em_kernel.e_step(encoded, self._model.confusions,
+                                       self._model.priors)
+        elif self.init == "majority":
+            initial = self._stats.majority_assignment()
+        elif self.init == "random":
+            initial = em_kernel.initial_assignment_random(encoded, self.rng)
+        else:
+            initial = em_kernel.initial_assignment_uniform(encoded)
+        result = em_kernel.run_em(
+            encoded, initial, validated, labels,
+            max_iter=self.max_iter, tol=self.tol, smoothing=self.smoothing)
+        self._install(result)
+        return result
+
+    def install_model(self,
+                      assignment: np.ndarray,
+                      confusions: np.ndarray,
+                      priors: np.ndarray,
+                      n_iterations: int = 0,
+                      converged: bool = True) -> None:
+        """Adopt an externally refined model (e.g. a sharded refresh).
+
+        The model must match the session's current dimensions; installing
+        clears the dirty-object set and re-arms the warm start.
+        """
+        n, k, m = self.n_objects, self.n_workers, self.n_labels
+        if assignment.shape != (n, m) or confusions.shape != (k, m, m) \
+                or priors.shape != (m,):
+            raise StreamingError(
+                f"model shapes {assignment.shape}/{confusions.shape}/"
+                f"{priors.shape} do not match session dimensions "
+                f"({n} objects × {k} workers, {m} labels)")
+        self._install(em_kernel.EMResult(
+            assignment=assignment, confusions=confusions, priors=priors,
+            n_iterations=int(n_iterations), converged=bool(converged)))
+
+    def _install(self, result: em_kernel.EMResult) -> None:
+        self._model = result
+        self._model_dims = (self.n_objects, self.n_workers)
+        self._concluded_validated = self._validation.as_array()
+        self._dirty.clear()
+        self._log_like = None
+        self._log_conf = None
+        self.n_concludes += 1
+        self.total_em_iterations += result.n_iterations
+
+    # ------------------------------------------------------------------
+    # Read path (delta-maintained, no full refinement needed)
+    # ------------------------------------------------------------------
+    def posterior(self, obj: int) -> np.ndarray:
+        """Current label distribution for one object, served incrementally.
+
+        Uses the delta-maintained log-likelihood rows under the last model
+        (answers that arrived since the last refinement are already folded
+        in), clamped to one-hot for validated objects. Before the first
+        refinement, vote shares are returned. Agrees with a fresh E-step to
+        within floating-point addition-order noise (≤ 1e-9).
+        """
+        return self.posteriors()[int(obj)]
+
+    def posteriors(self) -> np.ndarray:
+        """Current label distributions for all objects (see :meth:`posterior`)."""
+        validated = self._validation.validated_indices()
+        labels = self._validation.validated_labels()
+        if self._model is None \
+                or self._model_dims != (self.n_objects, self.n_workers):
+            assignment = self._stats.majority_assignment()
+            return em_kernel.clamp_validated(assignment, validated, labels)
+        self._ensure_log_like()
+        log_like = self._log_like \
+            + np.log(np.clip(self._model.priors, PROB_FLOOR, None))[None, :]
+        log_like -= log_like.max(axis=1, keepdims=True)
+        assignment = np.exp(log_like)
+        assignment /= assignment.sum(axis=1, keepdims=True)
+        return em_kernel.clamp_validated(assignment, validated, labels)
+
+    def map_label(self, obj: int) -> int:
+        """Maximum-a-posteriori label for one object."""
+        return int(np.argmax(self.posterior(obj)))
+
+    def _ensure_log_like(self) -> None:
+        if self._log_like is not None:
+            return
+        assert self._model is not None
+        encoded = self._stats.encoded()
+        self._log_conf = np.log(
+            np.clip(self._model.confusions, PROB_FLOOR, None))
+        log_like = np.zeros((self.n_objects, self.n_labels))
+        if encoded.n_answers:
+            contributions = self._log_conf[encoded.worker_index, :,
+                                           encoded.label_index]
+            np.add.at(log_like, encoded.object_index, contributions)
+        self._log_like = log_like
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ProbabilisticAnswerSet:
+        """Materialize the last refinement as a batch-compatible snapshot.
+
+        The returned :class:`~repro.core.probabilistic.ProbabilisticAnswerSet`
+        is what every downstream consumer (guidance, uncertainty,
+        instantiation) already understands.
+        """
+        if self._model is None:
+            raise StreamingError(
+                "no refinement yet — call conclude() before snapshot()")
+        if self._model_dims != (self.n_objects, self.n_workers):
+            raise StreamingError(
+                "session dimensions grew since the last refinement — "
+                "call conclude() before snapshot()")
+        return ProbabilisticAnswerSet(
+            answer_set=self.answer_set,
+            validation=self._validation.copy(),
+            assignment=self._model.assignment,
+            confusions=self._model.confusions,
+            priors=self._model.priors,
+            n_em_iterations=self._model.n_iterations,
+        )
+
+    def conclude_snapshot(self) -> ProbabilisticAnswerSet:
+        """Refine, then snapshot — one call for embedding hosts."""
+        self.conclude()
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    def _heal_object(self, obj: int) -> None:
+        """Re-sync one object's validated-confusion contributions."""
+        current = self._validation.label_of(obj)
+        workers, answered = self._stats.answers_of_object(obj)
+        if self._vconf_sync[obj] != MISSING:
+            np.add.at(self._vconf,
+                      (workers, self._vconf_sync[obj], answered), -1)
+        if current != MISSING:
+            np.add.at(self._vconf, (workers, current, answered), 1)
+        self._vconf_sync[obj] = current
+        self._dirty.add(obj)
+
+    def _heal_vconf(self) -> None:
+        """Re-sync validated-confusion counts after direct view writes."""
+        current = self._validation.as_array()
+        if current.size != self._vconf_sync.size:
+            self._vconf_sync = np.full(current.size, MISSING, dtype=np.int64)
+        for obj in np.flatnonzero(current != self._vconf_sync):
+            self._heal_object(int(obj))
+
+    def __repr__(self) -> str:
+        return (f"ValidationSession(n_objects={self.n_objects}, "
+                f"n_workers={self.n_workers}, n_labels={self.n_labels}, "
+                f"n_answers={self.n_answers}, validated={self.n_validated}, "
+                f"concludes={self.n_concludes})")

@@ -35,12 +35,20 @@ def test_spammer_audit_separates_types():
     assert "recall" in out
 
 
+def test_streaming_validation_replays_a_stream():
+    out = run_example("streaming_validation.py")
+    assert "Stream drained" in out
+    assert "Final precision" in out
+    assert "(expert)" in out
+
+
 @pytest.mark.parametrize("name", [
     "quickstart.py",
     "image_tagging_validation.py",
     "spammer_audit.py",
     "budget_planning.py",
     "interactive_validation.py",
+    "streaming_validation.py",
 ])
 def test_examples_compile(name):
     source = (EXAMPLES / name).read_text()

@@ -1,0 +1,289 @@
+"""Property tests: delta-maintained sufficient statistics never desync.
+
+Satellite of the streaming engine: for arbitrary interleavings of
+add-answer / add-validation / mask / grow operations, the incrementally
+maintained statistics (flat encoding, vote counts, majority init,
+validated-confusion counts, log-likelihood read path) must equal a
+from-scratch rebuild via ``encode_answers`` over the equivalent batch
+answer set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import confusion, em_kernel
+from repro.core.answer_set import MISSING, AnswerSet
+from repro.core.validation import ExpertValidation
+from repro.errors import InvalidAnswerSetError
+from repro.streaming import ValidationSession
+
+
+def _labels(m):
+    return tuple(f"l{c + 1}" for c in range(m))
+
+
+@st.composite
+def answer_logs(draw, max_n=6, max_k=5, max_m=4):
+    """Random dimensions plus a duplicate-free list of answer triples."""
+    n = draw(st.integers(1, max_n))
+    k = draw(st.integers(1, max_k))
+    m = draw(st.integers(2, max_m))
+    cells = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, k - 1)),
+        unique=True, max_size=n * k))
+    triples = [(obj, wrk, draw(st.integers(0, m - 1))) for obj, wrk in cells]
+    return n, k, m, triples
+
+
+@st.composite
+def interleavings(draw):
+    """An operation sequence mixing answers, validations, and masking."""
+    n, k, m, triples = draw(answer_logs())
+    ops: list[tuple] = [("answer",) + t for t in triples]
+    for _ in range(draw(st.integers(0, 8))):
+        ops.append(("validate", draw(st.integers(0, n - 1)),
+                    draw(st.integers(0, m - 1))))
+    for _ in range(draw(st.integers(0, 2))):
+        subset = draw(st.lists(st.integers(0, k - 1), unique=True,
+                               max_size=k))
+        ops.append(("mask", tuple(subset)))
+    order = draw(st.permutations(ops))
+    return n, k, m, order
+
+
+class TestEncodingEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(answer_logs())
+    def test_streamed_encoding_matches_batch(self, log):
+        n, k, m, triples = log
+        stats = em_kernel.AnswerStats(n, k, m)
+        em_kernel.update_stats(stats, triples)
+        matrix = np.full((n, k), MISSING, dtype=np.int64)
+        for obj, wrk, lab in triples:
+            matrix[obj, wrk] = lab
+        batch = em_kernel.encode_answers(AnswerSet(matrix, _labels(m)))
+        streamed = stats.encoded()
+        assert np.array_equal(streamed.object_index, batch.object_index)
+        assert np.array_equal(streamed.worker_index, batch.worker_index)
+        assert np.array_equal(streamed.label_index, batch.label_index)
+        assert np.array_equal(stats.to_matrix(), matrix)
+
+    @settings(max_examples=60, deadline=None)
+    @given(answer_logs())
+    def test_majority_init_matches_batch_bit_for_bit(self, log):
+        n, k, m, triples = log
+        stats = em_kernel.AnswerStats(n, k, m)
+        em_kernel.update_stats(stats, triples)
+        batch_init = em_kernel.initial_assignment_majority(stats.encoded())
+        assert np.array_equal(stats.majority_assignment(), batch_init)
+
+    def test_bulk_load_equals_per_answer_ingestion(self):
+        """The vectorized seeding path matches the per-answer loop."""
+        rng = np.random.default_rng(3)
+        n, k, m = 20, 8, 3
+        matrix = rng.integers(-1, m, size=(n, k))
+        obj, wrk = np.nonzero(matrix != MISSING)
+        lab = matrix[obj, wrk]
+        bulk = em_kernel.AnswerStats(n, k, m)
+        bulk.add_answers(obj, wrk, lab)  # empty log + unique cells -> bulk
+        slow = em_kernel.AnswerStats(n, k, m)
+        for triple in zip(obj, wrk, lab):
+            slow.add_answer(*map(int, triple))
+        assert np.array_equal(bulk.encoded().object_index,
+                              slow.encoded().object_index)
+        assert np.array_equal(bulk.vote_counts(), slow.vote_counts())
+        assert np.array_equal(bulk.worker_answer_counts(),
+                              slow.worker_answer_counts())
+        assert bulk.answers_of_object(0)[0].tolist() \
+            == slow.answers_of_object(0)[0].tolist()
+        # Incremental adds on top of a bulk load keep working.
+        free = np.argwhere(matrix == MISSING)
+        if free.size:
+            bulk.add_answer(int(free[0][0]), int(free[0][1]), 0)
+            assert bulk.n_answers == slow.n_answers + 1
+
+    def test_bulk_load_rejects_in_batch_duplicates_via_loop(self):
+        stats = em_kernel.AnswerStats(2, 2, 2)
+        # Duplicate cell in one batch: falls back to the per-answer path,
+        # which tolerates the exact duplicate.
+        added = stats.add_answers(np.array([0, 0]), np.array([1, 1]),
+                                  np.array([1, 1]))
+        assert added == 1
+        with pytest.raises(InvalidAnswerSetError):
+            stats.add_answers(np.array([0]), np.array([1]), np.array([0]))
+        with pytest.raises(InvalidAnswerSetError):
+            em_kernel.AnswerStats(2, 2, 2).add_answers(
+                np.array([5]), np.array([0]), np.array([0]))
+
+    def test_duplicate_answer_ignored_conflict_rejected(self):
+        stats = em_kernel.AnswerStats(2, 2, 2)
+        assert stats.add_answer(0, 0, 1)
+        assert not stats.add_answer(0, 0, 1)  # exact duplicate
+        assert stats.n_answers == 1
+        with pytest.raises(InvalidAnswerSetError):
+            stats.add_answer(0, 0, 0)  # conflicting re-answer
+
+    def test_out_of_range_rejected(self):
+        stats = em_kernel.AnswerStats(2, 2, 2)
+        with pytest.raises(InvalidAnswerSetError):
+            stats.add_answer(2, 0, 0)
+        with pytest.raises(InvalidAnswerSetError):
+            stats.add_answer(0, 2, 0)
+        with pytest.raises(InvalidAnswerSetError):
+            stats.add_answer(0, 0, 2)
+        with pytest.raises(InvalidAnswerSetError):
+            stats.set_masked_workers([5])
+
+    def test_grow_rejects_shrinking(self):
+        stats = em_kernel.AnswerStats(3, 3, 2)
+        with pytest.raises(ValueError):
+            stats.grow(n_objects=2)
+        with pytest.raises(ValueError):
+            stats.grow(n_workers=1)
+
+    def test_grow_preserves_log_and_extends_dims(self):
+        stats = em_kernel.AnswerStats(1, 1, 2)
+        for i in range(100):  # force several capacity doublings
+            stats.grow(n_objects=i + 1, n_workers=i + 1)
+            stats.add_answer(i, i, i % 2)
+        assert stats.n_answers == 100
+        encoded = stats.encoded()
+        assert np.array_equal(encoded.object_index, np.arange(100))
+        assert np.array_equal(encoded.label_index, np.arange(100) % 2)
+
+
+class TestMaskingEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(answer_logs(), st.data())
+    def test_masked_encoding_matches_masked_answer_set(self, log, data):
+        n, k, m, triples = log
+        stats = em_kernel.AnswerStats(n, k, m)
+        em_kernel.update_stats(stats, triples)
+        masked = data.draw(st.lists(st.integers(0, k - 1), unique=True,
+                                    max_size=k))
+        stats.set_masked_workers(masked)
+        matrix = np.full((n, k), MISSING, dtype=np.int64)
+        for obj, wrk, lab in triples:
+            matrix[obj, wrk] = lab
+        batch_set = AnswerSet(matrix, _labels(m)).mask_workers(masked)
+        batch = em_kernel.encode_answers(batch_set)
+        streamed = stats.encoded()
+        assert np.array_equal(streamed.object_index, batch.object_index)
+        assert np.array_equal(streamed.worker_index, batch.worker_index)
+        assert np.array_equal(streamed.label_index, batch.label_index)
+        assert np.array_equal(stats.majority_assignment(),
+                              em_kernel.initial_assignment_majority(batch))
+        # Toggling back restores the unmasked statistics exactly.
+        stats.set_masked_workers([])
+        full = em_kernel.encode_answers(AnswerSet(matrix, _labels(m)))
+        assert np.array_equal(stats.encoded().object_index, full.object_index)
+        assert np.array_equal(stats.to_matrix(include_masked=False), matrix)
+
+
+class TestSessionStatisticsNeverDesync:
+    """Interleaved add-answer / add-validation sequences (the satellite)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(interleavings())
+    def test_validated_confusions_match_rebuild(self, case):
+        n, k, m, ops = case
+        session = ValidationSession(n, k, m)
+        for op in ops:
+            if op[0] == "answer":
+                session.add_answer(op[1], op[2], op[3])
+            elif op[0] == "validate":
+                session.add_validation(op[1], op[2], overwrite=True)
+            else:
+                session.set_masked_workers(op[1])
+        rebuilt = confusion.validated_confusion_counts(
+            AnswerSet(session.stats.to_matrix(), _labels(m)),
+            session.validation)
+        assert np.array_equal(session.validated_confusion_counts(), rebuilt)
+
+    @settings(max_examples=30, deadline=None)
+    @given(interleavings())
+    def test_direct_view_writes_are_healed(self, case):
+        n, k, m, ops = case
+        session = ValidationSession(n, k, m)
+        for op in ops:
+            if op[0] == "answer":
+                session.add_answer(op[1], op[2], op[3])
+            elif op[0] == "validate":
+                # Bypass add_validation: mutate the live view directly.
+                session.validation.assign(op[1], op[2], overwrite=True)
+            else:
+                session.set_masked_workers(op[1])
+        rebuilt = confusion.validated_confusion_counts(
+            AnswerSet(session.stats.to_matrix(), _labels(m)),
+            session.validation)
+        assert np.array_equal(session.validated_confusion_counts(), rebuilt)
+
+    def test_grow_heals_pending_view_writes(self):
+        """Direct view writes must survive growth (regression)."""
+        session = ValidationSession(2, 2, 2)
+        session.add_answers([(0, 0, 1), (0, 1, 0)])
+        session.validation.assign(0, 1)  # direct write, not yet healed
+        session.grow(n_objects=4, n_workers=3)
+        rebuilt = confusion.validated_confusion_counts(
+            AnswerSet(session.stats.to_matrix(), _labels(2)),
+            session.validation)
+        assert np.array_equal(session.validated_confusion_counts(), rebuilt)
+        # A later re-validation must not drive counts negative.
+        session.add_validation(0, 0, overwrite=True)
+        assert (session.validated_confusion_counts() >= 0).all()
+
+    def test_out_of_range_validation_raises_library_error(self):
+        from repro.errors import InvalidValidationError
+        session = ValidationSession(3, 2, 2)
+        with pytest.raises(InvalidValidationError):
+            session.add_validation(99, 0)
+        with pytest.raises(InvalidValidationError):
+            session.retract_validation(-7)
+
+    def test_retraction_reverses_the_delta(self):
+        session = ValidationSession(3, 2, 2)
+        session.add_answers([(0, 0, 1), (0, 1, 0), (1, 0, 0)])
+        session.add_validation(0, 1)
+        before = session.validated_confusion_counts()
+        assert before.sum() == 2
+        session.retract_validation(0)
+        assert session.validated_confusion_counts().sum() == 0
+        session.add_validation(0, 0)  # re-validate with the other label
+        after = session.validated_confusion_counts()
+        assert after[0, 0, 1] == 1 and after[1, 0, 0] == 1
+
+
+class TestDeltaReadPath:
+    @settings(max_examples=40, deadline=None)
+    @given(interleavings())
+    def test_posteriors_match_fresh_e_step(self, case):
+        n, k, m, ops = case
+        session = ValidationSession(n, k, m)
+        concluded = False
+        for index, op in enumerate(ops):
+            if op[0] == "answer":
+                session.add_answer(op[1], op[2], op[3])
+            elif op[0] == "validate":
+                session.add_validation(op[1], op[2], overwrite=True)
+            else:
+                session.set_masked_workers(op[1])
+            if index == len(ops) // 2:
+                session.conclude()
+                concluded = True
+                session.posteriors()  # arm the delta-maintained rows
+        posteriors = session.posteriors()
+        if concluded:
+            encoded = session.stats.encoded()
+            expected = em_kernel.e_step(encoded, session.model.confusions,
+                                        session.model.priors)
+        else:
+            expected = session.stats.majority_assignment()
+        em_kernel.clamp_validated(
+            expected, session.validation.validated_indices(),
+            session.validation.validated_labels())
+        assert np.allclose(posteriors, expected, atol=1e-9)
+        assert np.allclose(posteriors.sum(axis=1), 1.0)
