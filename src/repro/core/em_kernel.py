@@ -9,9 +9,16 @@ and in whether expert validations are clamped as ground truth.
 Implementation notes
 --------------------
 * Answers are flattened into three parallel index arrays (object, worker,
-  label), so an E-step is a single ``np.add.at`` scatter of per-answer
-  log-likelihood rows and an M-step is one scatter into per-worker count
-  matrices. Complexity per iteration is ``O(A·m)`` for ``A`` answers.
+  label), so an E-step is a single scatter of per-answer log-likelihood
+  rows and an M-step is one scatter into per-worker count matrices.
+  Complexity per iteration is ``O(A·m)`` for ``A`` answers.
+* The scatters run in one of two interchangeable forms: a reference
+  ``np.add.at`` path, and a fast path driven by a :class:`KernelPlan` of
+  precomputed flat gather/scatter indices reduced with ``np.bincount``.
+  Both iterate the per-cell additions in the same order, so the two paths
+  are **bit-for-bit identical** (``np.add.at`` and ``np.bincount`` are both
+  sequential in-order accumulations); the golden Dawid–Skene fixtures pin
+  this equivalence.
 * All likelihood products run in log space with probability flooring, so
   degenerate confusion rows never produce NaNs.
 * Objects with an expert validation are clamped to a one-hot row after
@@ -54,6 +61,14 @@ class EncodedAnswers:
     def n_answers(self) -> int:
         return int(self.object_index.size)
 
+    def __getstate__(self) -> dict:
+        # The memoized kernel plan (see kernel_plan) doubles the pickled
+        # payload of every process-executor task; workers re-derive it
+        # from the same memoization in one pass, so never ship it.
+        state = self.__dict__.copy()
+        state.pop("_kernel_plan", None)
+        return state
+
 
 def encode_answers(answer_set: AnswerSet) -> EncodedAnswers:
     """Flatten an :class:`~repro.core.answer_set.AnswerSet` for the kernel."""
@@ -67,6 +82,170 @@ def encode_answers(answer_set: AnswerSet) -> EncodedAnswers:
         worker_index=wrk,
         label_index=matrix[obj, wrk],
     )
+
+
+# ----------------------------------------------------------------------
+# Kernel plans: precomputed scatter/gather indices per encoding
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelPlan:
+    """Precomputed flat indices shared by every E/M step over one encoding.
+
+    The reference :func:`e_step`/:func:`m_step` rebuild the same index
+    arithmetic — ``(worker·m + row)·m + label`` gathers and scatters — on
+    every invocation and accumulate through ``np.add.at``, which is an
+    order of magnitude slower than ``np.bincount`` on these shapes. A plan
+    computes the indices once per :class:`EncodedAnswers`:
+
+    ``conf_gather``
+        ``(m, A)`` flat indices into a raveled ``(k, m, m)`` confusion
+        stack; row ``r`` gathers ``log F_w(r, l)`` for every answer
+        ``(o, w, l)``. The same indices are the M-step scatter targets,
+        since ``counts[w, r, l]`` lives at the identical flat offset.
+    ``assign_gather``
+        ``(m, A)`` flat indices into a raveled ``(n, m)`` assignment;
+        row ``r`` gathers ``U(o, r)`` for every answer.
+
+    Within any accumulator cell the answers are visited in ascending
+    answer order on both paths, so plan-driven results are bit-for-bit
+    equal to the ``np.add.at`` reference.
+
+    Obtain plans through :func:`kernel_plan`, which memoizes the plan on
+    the encoding object itself — and since :meth:`AnswerStats.encoded`
+    caches its encoding per :attr:`AnswerStats.version`, streaming callers
+    get one plan per statistics version for free.
+    """
+
+    n_objects: int
+    n_workers: int
+    n_labels: int
+    object_index: np.ndarray
+    conf_gather: np.ndarray
+    assign_gather: np.ndarray
+
+    @property
+    def n_answers(self) -> int:
+        return int(self.object_index.size)
+
+
+def kernel_plan(encoded: EncodedAnswers) -> KernelPlan:
+    """The (memoized) :class:`KernelPlan` for an encoding.
+
+    The plan is cached on the ``EncodedAnswers`` instance, so repeated
+    ``run_em`` calls over the same encoding — warm-started look-aheads,
+    streaming refinements, block solves — pay the index construction once.
+    """
+    plan = encoded.__dict__.get("_kernel_plan")
+    if plan is None:
+        m = encoded.n_labels
+        rows = np.arange(m, dtype=np.int64)[:, None]
+        conf_gather = ((encoded.worker_index[None, :] * m + rows) * m
+                       + encoded.label_index[None, :])
+        assign_gather = encoded.object_index[None, :] * m + rows
+        plan = KernelPlan(
+            n_objects=encoded.n_objects,
+            n_workers=encoded.n_workers,
+            n_labels=encoded.n_labels,
+            object_index=encoded.object_index,
+            conf_gather=np.ascontiguousarray(conf_gather),
+            assign_gather=np.ascontiguousarray(assign_gather),
+        )
+        object.__setattr__(encoded, "_kernel_plan", plan)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Block extraction (partition-scoped and neighborhood-scoped solves)
+# ----------------------------------------------------------------------
+def object_segment_starts(encoded: EncodedAnswers) -> np.ndarray:
+    """Per-object segment boundaries into a sorted flat encoding.
+
+    ``encoded.object_index`` is non-decreasing on both construction paths
+    (:func:`encode_answers` emits row-major ``np.nonzero`` order;
+    :meth:`AnswerStats.encoded` lexsorts by ``(object, worker)``), so the
+    answers of object ``o`` are exactly positions
+    ``starts[o]:starts[o + 1]``. Computing the boundaries once lets block
+    extraction run in ``O(block answers)`` instead of an ``O(A)`` scan per
+    block.
+    """
+    return np.searchsorted(encoded.object_index,
+                           np.arange(encoded.n_objects + 1))
+
+
+def block_subencoding(encoded: EncodedAnswers,
+                      objects: np.ndarray,
+                      workers: np.ndarray | None = None,
+                      *,
+                      n_labels: int | None = None,
+                      object_starts: np.ndarray | None = None,
+                      ) -> tuple[EncodedAnswers, np.ndarray]:
+    """Restrict a flat encoding to an object block with local indices.
+
+    The shared seam of every partition-scoped solve: the
+    :class:`repro.streaming.ShardedRefresher` block refreshes and the
+    localized look-ahead of
+    :class:`repro.guidance.information_gain.InformationGainStrategy` both
+    re-solve an object neighborhood as its own small EM instance.
+
+    Parameters
+    ----------
+    encoded:
+        The full flat encoding.
+    objects:
+        Sorted unique object indices of the block.
+    workers:
+        Sorted unique worker indices covering every answer of ``objects``;
+        derived from the block's answers when omitted.
+    n_labels:
+        Label vocabulary of the sub-encoding (defaults to ``encoded``'s).
+    object_starts:
+        Precomputed :func:`object_segment_starts` of ``encoded``. With it,
+        the block's answer positions are gathered segment-by-segment in
+        ``O(block answers)``; without it, an ``O(A)`` ``np.isin`` scan
+        locates them.
+
+    Returns
+    -------
+    (sub_encoding, workers)
+        The block's encoding under local (positional) object/worker
+        indices, and the worker index set actually used.
+    """
+    objects = np.asarray(objects, dtype=np.int64)
+    if object_starts is not None:
+        counts = object_starts[objects + 1] - object_starts[objects]
+        positions = np.repeat(object_starts[objects], counts) \
+            + _ranges(counts)
+        local_obj = np.repeat(np.arange(objects.size, dtype=np.int64),
+                              counts)
+        kept_workers = encoded.worker_index[positions]
+        kept_labels = encoded.label_index[positions]
+    else:
+        keep = np.isin(encoded.object_index, objects)
+        local_obj = np.searchsorted(objects, encoded.object_index[keep])
+        kept_workers = encoded.worker_index[keep]
+        kept_labels = encoded.label_index[keep]
+    if workers is None:
+        workers = np.unique(kept_workers)
+    else:
+        workers = np.asarray(workers, dtype=np.int64)
+    sub = EncodedAnswers(
+        n_objects=objects.size,
+        n_workers=workers.size,
+        n_labels=encoded.n_labels if n_labels is None else int(n_labels),
+        object_index=np.ascontiguousarray(local_obj),
+        worker_index=np.ascontiguousarray(
+            np.searchsorted(workers, kept_workers)),
+        label_index=np.ascontiguousarray(kept_labels))
+    return sub, workers
+
+
+def _ranges(counts: np.ndarray) -> np.ndarray:
+    """``concat(arange(c) for c in counts)`` without a Python loop."""
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - offsets
 
 
 # ----------------------------------------------------------------------
@@ -86,6 +265,9 @@ class AnswerStats:
     * per-object label vote counts (majority initialization in ``O(n·m)``
       without touching the answer log);
     * per-worker answer counts;
+    * per-object and per-worker position indexes into the log, so delta
+      queries (:meth:`answers_of_object`, :meth:`objects_of_worker`) never
+      scan the full answer stream;
     * a masked-worker set (the §5.3 faulty-worker exclusion) applied at
       encoding time instead of by copying matrix columns.
 
@@ -102,7 +284,7 @@ class AnswerStats:
 
     __slots__ = ("_n_objects", "_n_workers", "_n_labels",
                  "_obj", "_wrk", "_lab", "_n_answers",
-                 "_cells", "_by_object", "_masked",
+                 "_cells", "_by_object", "_by_worker", "_masked",
                  "_vote_counts", "_worker_answer_counts",
                  "_encoded_cache", "_version")
 
@@ -124,6 +306,8 @@ class AnswerStats:
         self._cells: dict[tuple[int, int], int] = {}
         #: object -> positions into the log, for per-object delta queries.
         self._by_object: dict[int, list[int]] = {}
+        #: worker -> positions into the log, for per-worker delta queries.
+        self._by_worker: dict[int, list[int]] = {}
         self._masked: frozenset[int] = frozenset()
         self._vote_counts = np.zeros((self._n_objects, self._n_labels))
         self._worker_answer_counts = np.zeros(self._n_workers, dtype=np.int64)
@@ -180,9 +364,14 @@ class AnswerStats:
         return self._wrk[idx], self._lab[idx]
 
     def objects_of_worker(self, worker: int) -> np.ndarray:
-        """Unique objects the worker answered (ascending)."""
-        log_workers = self._wrk[:self._n_answers]
-        return np.unique(self._obj[:self._n_answers][log_workers == int(worker)])
+        """Unique objects the worker answered (ascending).
+
+        Served from the per-worker position index — ``O(answers of the
+        worker)``, not a scan of the full answer log.
+        """
+        positions = self._by_worker.get(int(worker), [])
+        idx = np.asarray(positions, dtype=np.int64)
+        return np.unique(self._obj[idx])
 
     def vote_counts(self) -> np.ndarray:
         """Per-object label vote counts over *unmasked* answers (copy)."""
@@ -257,6 +446,7 @@ class AnswerStats:
         self._n_answers += 1
         self._cells[(obj, worker)] = label
         self._by_object.setdefault(obj, []).append(position)
+        self._by_worker.setdefault(worker, []).append(position)
         self._worker_answer_counts[worker] += 1
         if worker not in self._masked:
             self._vote_counts[obj, label] += 1.0
@@ -308,9 +498,13 @@ class AnswerStats:
         self._cells = dict(zip(zip(objects.tolist(), workers.tolist()),
                                labels.tolist()))
         by_object: dict[int, list[int]] = {}
-        for position, obj in enumerate(objects.tolist()):
+        by_worker: dict[int, list[int]] = {}
+        for position, (obj, wrk) in enumerate(zip(objects.tolist(),
+                                                  workers.tolist())):
             by_object.setdefault(obj, []).append(position)
+            by_worker.setdefault(wrk, []).append(position)
         self._by_object = by_object
+        self._by_worker = by_worker
         np.add.at(self._worker_answer_counts, workers, 1)
         if self._masked:
             keep = ~np.isin(workers,
@@ -325,8 +519,9 @@ class AnswerStats:
     def set_masked_workers(self, workers) -> frozenset[int]:
         """Replace the masked-worker set; returns the workers that toggled.
 
-        Vote counts are delta-adjusted by replaying only the toggled
-        workers' answers — ``O(answers of toggled workers)``, not ``O(A)``.
+        Vote counts are delta-adjusted with a single ``np.isin`` pass over
+        the answer log (one vectorized scatter for all toggled workers at
+        once, instead of one ``flatnonzero`` scan per worker).
         """
         new_masked = frozenset(int(w) for w in workers)
         for worker in new_masked:
@@ -337,9 +532,13 @@ class AnswerStats:
         if not toggled:
             return frozenset()
         log_workers = self._wrk[:self._n_answers]
-        for worker in toggled:
-            positions = np.flatnonzero(log_workers == worker)
-            delta = -1.0 if worker in new_masked else 1.0
+        toggled_arr = np.asarray(sorted(toggled), dtype=np.int64)
+        positions = np.flatnonzero(np.isin(log_workers, toggled_arr))
+        if positions.size:
+            newly_masked = np.asarray(sorted(new_masked & toggled),
+                                      dtype=np.int64)
+            delta = np.where(
+                np.isin(log_workers[positions], newly_masked), -1.0, 1.0)
             np.add.at(self._vote_counts,
                       (self._obj[positions], self._lab[positions]), delta)
         self._masked = new_masked
@@ -512,22 +711,47 @@ def estimate_priors(assignment: np.ndarray) -> np.ndarray:
         return np.full(m, 1.0 / m)
     priors = assignment.sum(axis=0) / n
     # Guard against all-mass-on-one-label degeneracies feeding log(0).
-    return np.clip(priors, PROB_FLOOR, None) / np.clip(priors, PROB_FLOOR, None).sum()
+    clipped = np.clip(priors, PROB_FLOOR, None)
+    return clipped / clipped.sum()
 
 
 def m_step(encoded: EncodedAnswers,
            assignment: np.ndarray,
-           smoothing: float = DEFAULT_SMOOTHING) -> np.ndarray:
+           smoothing: float = DEFAULT_SMOOTHING,
+           *,
+           plan: KernelPlan | None = None) -> np.ndarray:
     """Estimate worker confusion matrices from the soft assignment (Eq. 5).
 
     ``F_w(l', l) ∝ Σ_o U(o, l') · d_w(o, l)``, row-normalized with
     ``smoothing`` pseudo-counts; rows with no evidence become uniform.
+
+    With a ``plan`` the scatter runs as one ``np.bincount`` segment
+    reduction over precomputed flat indices; without one, the reference
+    ``np.add.at`` scatter rebuilds the indices in place. Both accumulate
+    each count cell in ascending answer order, so the results are
+    bit-for-bit identical.
     """
     k, m = encoded.n_workers, encoded.n_labels
-    counts = np.zeros((k, m, m), dtype=float)
-    if encoded.n_answers:
+    if not encoded.n_answers:
+        return normalize_rows(np.zeros((k, m, m), dtype=float),
+                              smoothing=smoothing)
+    if plan is not None:
+        counts = np.bincount(
+            plan.conf_gather.reshape(-1),
+            weights=assignment.reshape(-1)[plan.assign_gather.reshape(-1)],
+            minlength=k * m * m).reshape(k, m, m)
+        if smoothing > 0:
+            # Inline the normalize_rows smoothed branch: counts are
+            # bincount sums of non-negative probabilities and smoothing
+            # makes every row total positive, so the validation scan and
+            # zero-row selects are dead weight here. Same divisions,
+            # bit-for-bit identical result.
+            smoothed = counts + float(smoothing)
+            return smoothed / smoothed.sum(axis=-1, keepdims=True)
+    else:
         # counts[w, :, l] += U[o, :] for each answer (o, w, l). Flattened
         # scatter: index = (w*m + row)*m + l for each of the m rows.
+        counts = np.zeros((k, m, m), dtype=float)
         rows = np.arange(m)
         flat_index = ((encoded.worker_index[:, None] * m + rows[None, :]) * m
                       + encoded.label_index[:, None])
@@ -536,23 +760,62 @@ def m_step(encoded: EncodedAnswers,
     return normalize_rows(counts, smoothing=smoothing)
 
 
+def scatter_log_likelihood(encoded: EncodedAnswers,
+                           log_confusions: np.ndarray,
+                           *,
+                           plan: KernelPlan | None = None) -> np.ndarray:
+    """Per-object log-likelihood rows ``Σ_answers log F_w(·, l)``.
+
+    The E-step's scatter, factored out so delta-maintained read paths
+    (:meth:`repro.streaming.ValidationSession.posteriors`) share it. With a
+    ``plan``, each label column is one ``np.bincount`` over the object
+    index; without one, the reference ``np.add.at`` scatter runs.
+    Bit-for-bit identical either way.
+    """
+    n, m = encoded.n_objects, encoded.n_labels
+    if not encoded.n_answers:
+        return np.zeros((n, m), dtype=float)
+    if plan is not None:
+        contributions = log_confusions.reshape(-1)[plan.conf_gather]
+        log_like = np.empty((n, m), dtype=float)
+        for label in range(m):
+            log_like[:, label] = np.bincount(
+                plan.object_index, weights=contributions[label], minlength=n)
+        return log_like
+    log_like = np.zeros((n, m), dtype=float)
+    contributions = log_confusions[encoded.worker_index, :,
+                                   encoded.label_index]
+    np.add.at(log_like, encoded.object_index, contributions)
+    return log_like
+
+
 def e_step(encoded: EncodedAnswers,
            confusions: np.ndarray,
-           priors: np.ndarray) -> np.ndarray:
+           priors: np.ndarray,
+           *,
+           plan: KernelPlan | None = None,
+           log_confusions: np.ndarray | None = None,
+           log_priors: np.ndarray | None = None) -> np.ndarray:
     """Estimate assignment probabilities from confusion matrices (Eq. 1).
 
     ``U(o, l) ∝ p(l) · Π_w Π_{l'} F_w(l, l')^{d_w(o, l')}``, computed in log
     space: each answer ``(o, w, l')`` contributes the column
     ``log F_w(·, l')`` to row ``o`` of the log-likelihood accumulator.
     Objects without any answers fall back to the prior.
+
+    ``log_confusions``/``log_priors`` accept the pre-clipped logs of
+    ``confusions``/``priors`` so callers evaluating many E-steps against
+    the *same* model (look-ahead fans, shared warm starts) hoist the
+    ``log(clip(...))`` work out of the loop; when omitted they are
+    computed here. ``plan`` selects the segment-reduce scatter (see
+    :func:`scatter_log_likelihood`).
     """
-    n, m = encoded.n_objects, encoded.n_labels
-    log_conf = np.log(np.clip(confusions, PROB_FLOOR, None))
-    log_like = np.zeros((n, m), dtype=float)
-    if encoded.n_answers:
-        contributions = log_conf[encoded.worker_index, :, encoded.label_index]
-        np.add.at(log_like, encoded.object_index, contributions)
-    log_like += np.log(np.clip(priors, PROB_FLOOR, None))[None, :]
+    if log_confusions is None:
+        log_confusions = np.log(np.clip(confusions, PROB_FLOOR, None))
+    if log_priors is None:
+        log_priors = np.log(np.clip(priors, PROB_FLOOR, None))
+    log_like = scatter_log_likelihood(encoded, log_confusions, plan=plan)
+    log_like += log_priors[None, :]
     log_like -= log_like.max(axis=1, keepdims=True)
     assignment = np.exp(log_like)
     assignment /= assignment.sum(axis=1, keepdims=True)
@@ -569,7 +832,9 @@ def run_em(encoded: EncodedAnswers,
            *,
            max_iter: int = DEFAULT_MAX_ITER,
            tol: float = DEFAULT_TOL,
-           smoothing: float = DEFAULT_SMOOTHING) -> EMResult:
+           smoothing: float = DEFAULT_SMOOTHING,
+           plan: KernelPlan | None = None,
+           use_plan: bool = True) -> EMResult:
     """Run EM to convergence from an initial soft assignment.
 
     Parameters
@@ -585,6 +850,11 @@ def run_em(encoded: EncodedAnswers,
     max_iter, tol, smoothing:
         Iteration cap, convergence tolerance on ``max |ΔU|``, and M-step
         pseudo-count.
+    plan, use_plan:
+        Kernel plan driving the segment-reduce scatters; derived (and
+        memoized on ``encoded``) when omitted. ``use_plan=False`` forces
+        the ``np.add.at`` reference path — bit-for-bit identical, kept for
+        golden-fixture verification and honest before/after benchmarks.
 
     Returns
     -------
@@ -597,21 +867,25 @@ def run_em(encoded: EncodedAnswers,
         validated_labels = np.empty(0, dtype=np.int64)
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    if not use_plan:
+        plan = None
+    elif plan is None:
+        plan = kernel_plan(encoded)
 
     assignment = np.array(initial_assignment, dtype=float, copy=True)
     clamp_validated(assignment, validated_objects, validated_labels)
 
-    confusions = m_step(encoded, assignment, smoothing)
+    confusions = m_step(encoded, assignment, smoothing, plan=plan)
     priors = estimate_priors(assignment)
     converged = False
     iterations = 0
     for iterations in range(1, max_iter + 1):
-        new_assignment = e_step(encoded, confusions, priors)
+        new_assignment = e_step(encoded, confusions, priors, plan=plan)
         clamp_validated(new_assignment, validated_objects, validated_labels)
         delta = float(np.max(np.abs(new_assignment - assignment))) \
             if assignment.size else 0.0
         assignment = new_assignment
-        confusions = m_step(encoded, assignment, smoothing)
+        confusions = m_step(encoded, assignment, smoothing, plan=plan)
         priors = estimate_priors(assignment)
         if delta < tol:
             converged = True

@@ -93,7 +93,10 @@ class IncrementalEM:
             Externally maintained flat encoding of ``answer_set`` (e.g. the
             delta-maintained :meth:`repro.core.em_kernel.AnswerStats.encoded`
             of a streaming session). When given, the ``O(n·k)`` re-flattening
-            of the matrix is skipped; the caller is responsible for the
+            of the matrix is skipped — and since kernel plans are memoized
+            per encoding (:func:`repro.core.em_kernel.kernel_plan`), every
+            conclude over the same cached encoding also shares one set of
+            precomputed scatter indices. The caller is responsible for the
             encoding matching ``answer_set``.
 
         Returns
@@ -116,10 +119,11 @@ class IncrementalEM:
         validated_objects = validation.validated_indices()
         validated_labels = validation.validated_labels()
 
+        plan = em_kernel.kernel_plan(encoded)
         if previous is not None:
             self._check_compatible(answer_set, previous)
             initial = em_kernel.e_step(encoded, previous.confusions,
-                                       previous.priors)
+                                       previous.priors, plan=plan)
         elif self.init == "majority":
             initial = em_kernel.initial_assignment_majority(encoded)
         elif self.init == "random":
@@ -137,6 +141,7 @@ class IncrementalEM:
             max_iter=self.max_iter,
             tol=self.tol,
             smoothing=self.smoothing,
+            plan=plan,
         )
         return ProbabilisticAnswerSet(
             answer_set=answer_set,

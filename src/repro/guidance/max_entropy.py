@@ -10,12 +10,19 @@ objects.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.uncertainty import object_entropies
 from repro.guidance.base import (
     GuidanceContext,
     GuidanceStrategy,
     Selection,
     argmax_with_ties,
+)
+from repro.guidance.joint_entropy import (
+    DEFAULT_COUPLING,
+    greedy_max_entropy_subset,
+    object_covariance,
 )
 
 
@@ -42,3 +49,22 @@ class MaxEntropyStrategy(GuidanceStrategy):
         choice = argmax_with_ties(entropies, candidates, rng)
         return Selection(object_index=choice, strategy=self.name,
                          scores=entropies, candidate_indices=candidates)
+
+    def select_batch(self, context: GuidanceContext, size: int,
+                     coupling: float = DEFAULT_COUPLING) -> np.ndarray:
+        """Plan a batch of up to ``size`` validations in one call (Eq. 16).
+
+        The top-``size`` objects by *marginal* entropy are typically
+        redundant — co-answered objects rise and fall together — so the
+        batch is chosen by maximum *joint* entropy over the Gaussian
+        surrogate instead, restricted to the unvalidated candidates and
+        solved with the CELF lazy-greedy selector
+        (:func:`~repro.guidance.joint_entropy.greedy_max_entropy_subset`).
+        Returns object indices in selection order.
+        """
+        candidates = self._require_candidates(context)
+        covariance = object_covariance(context.prob_set, coupling)
+        restricted = covariance[np.ix_(candidates, candidates)]
+        subset, _ = greedy_max_entropy_subset(
+            restricted, min(int(size), candidates.size))
+        return candidates[subset]

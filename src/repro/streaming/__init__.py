@@ -53,10 +53,15 @@ Scaling refreshes with partitioning::
 """
 
 from repro.streaming.session import ValidationSession
-from repro.streaming.sharded import RefreshReport, ShardedRefresher
+from repro.streaming.sharded import (
+    RefreshReport,
+    ShardedRefresher,
+    block_subencoding,
+)
 
 __all__ = [
     "RefreshReport",
     "ShardedRefresher",
     "ValidationSession",
+    "block_subencoding",
 ]

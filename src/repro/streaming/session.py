@@ -384,12 +384,13 @@ class ValidationSession:
         set with the same warm-start state.
         """
         encoded = self._stats.encoded()
+        plan = em_kernel.kernel_plan(encoded)
         validated = self._validation.validated_indices()
         labels = self._validation.validated_labels()
         if self._model is not None \
                 and self._model_dims == (self.n_objects, self.n_workers):
             initial = em_kernel.e_step(encoded, self._model.confusions,
-                                       self._model.priors)
+                                       self._model.priors, plan=plan)
         elif self.init == "majority":
             initial = self._stats.majority_assignment()
         elif self.init == "random":
@@ -398,7 +399,8 @@ class ValidationSession:
             initial = em_kernel.initial_assignment_uniform(encoded)
         result = em_kernel.run_em(
             encoded, initial, validated, labels,
-            max_iter=self.max_iter, tol=self.tol, smoothing=self.smoothing)
+            max_iter=self.max_iter, tol=self.tol, smoothing=self.smoothing,
+            plan=plan)
         self._install(result)
         return result
 
@@ -475,12 +477,8 @@ class ValidationSession:
         encoded = self._stats.encoded()
         self._log_conf = np.log(
             np.clip(self._model.confusions, PROB_FLOOR, None))
-        log_like = np.zeros((self.n_objects, self.n_labels))
-        if encoded.n_answers:
-            contributions = self._log_conf[encoded.worker_index, :,
-                                           encoded.label_index]
-            np.add.at(log_like, encoded.object_index, contributions)
-        self._log_like = log_like
+        self._log_like = em_kernel.scatter_log_likelihood(
+            encoded, self._log_conf, plan=em_kernel.kernel_plan(encoded))
 
     # ------------------------------------------------------------------
     # Snapshots

@@ -50,6 +50,13 @@ class RefreshReport:
         return int(sum(self.em_iterations))
 
 
+# Re-exported here because the refresher is these helpers' primary host —
+# they operate purely on EncodedAnswers and therefore live in the kernel
+# (keeping guidance's localized look-ahead free of a streaming dependency).
+block_subencoding = em_kernel.block_subencoding
+object_segment_starts = em_kernel.object_segment_starts
+
+
 def _refine_block(n_objects: int, n_workers: int, n_labels: int,
                   object_index: np.ndarray, worker_index: np.ndarray,
                   label_index: np.ndarray, initial: np.ndarray,
@@ -150,6 +157,7 @@ class ShardedRefresher:
                 index for index, block in enumerate(partition.blocks)
                 if any(int(obj) in dirty for obj in block.object_indices)]
         encoded = session.stats.encoded()
+        object_starts = object_segment_starts(encoded)
         validated = session.validation.as_array()
 
         if warm:
@@ -162,7 +170,7 @@ class ShardedRefresher:
 
         payloads = [
             self._block_payload(session, partition, index, encoded,
-                                validated, warm)
+                                validated, warm, object_starts)
             for index in dirty_blocks]
         results = self.executor.starmap(_refine_block, payloads)
 
@@ -173,7 +181,8 @@ class ShardedRefresher:
             assignment[block.object_indices, :] = block_assignment
             iterations.append(int(n_iter))
 
-        confusions = em_kernel.m_step(encoded, assignment, session.smoothing)
+        confusions = em_kernel.m_step(encoded, assignment, session.smoothing,
+                                      plan=em_kernel.kernel_plan(encoded))
         priors = em_kernel.estimate_priors(assignment)
         session.install_model(assignment, confusions, priors,
                               n_iterations=max(iterations, default=0),
@@ -186,20 +195,14 @@ class ShardedRefresher:
     def _block_payload(self, session: ValidationSession,
                        partition: Partition, block_index: int,
                        encoded: em_kernel.EncodedAnswers,
-                       validated: np.ndarray, warm: bool) -> tuple:
+                       validated: np.ndarray, warm: bool,
+                       object_starts: np.ndarray | None = None) -> tuple:
         block = partition.blocks[block_index]
         objects = np.sort(block.object_indices)
         workers = np.sort(block.worker_indices)
-        keep = np.isin(encoded.object_index, objects)
-        local_obj = np.searchsorted(objects, encoded.object_index[keep])
-        local_wrk = np.searchsorted(workers, encoded.worker_index[keep])
-        local_lab = encoded.label_index[keep]
-        sub = em_kernel.EncodedAnswers(
-            n_objects=objects.size, n_workers=workers.size,
-            n_labels=session.n_labels,
-            object_index=np.ascontiguousarray(local_obj),
-            worker_index=np.ascontiguousarray(local_wrk),
-            label_index=np.ascontiguousarray(local_lab))
+        sub, workers = block_subencoding(encoded, objects, workers,
+                                         n_labels=session.n_labels,
+                                         object_starts=object_starts)
         if warm:
             initial = em_kernel.e_step(
                 sub, session.model.confusions[workers],
