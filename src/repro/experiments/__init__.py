@@ -38,6 +38,7 @@ ALL_EXPERIMENTS: dict[str, str] = {
     "fig22": "repro.experiments.fig22_cost_spammers",
     "fig23": "repro.experiments.fig23_cost_reliability",
     "appe": "repro.experiments.appe_hardness",
+    "scen": "repro.experiments.scen_conformance",
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_experiment"]

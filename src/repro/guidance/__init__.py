@@ -21,6 +21,7 @@ from repro.guidance.base import (
 )
 from repro.guidance.hybrid import HybridStrategy
 from repro.guidance.information_gain import (
+    LOOKAHEAD_MODES,
     InformationGainStrategy,
     expected_posterior_entropy,
     information_gain,
@@ -38,6 +39,7 @@ from repro.guidance.worker_driven import WorkerDrivenStrategy
 
 __all__ = [
     "GuidanceContext",
+    "LOOKAHEAD_MODES",
     "GuidanceStrategy",
     "HybridStrategy",
     "InformationGainStrategy",

@@ -161,6 +161,29 @@ class ValidationReport:
         eligible = np.flatnonzero(efforts <= effort + 1e-12)
         return float(precisions[eligible[-1]]) if eligible.size else float("nan")
 
+    def quality_curve(self, relative: bool = True,
+                      ) -> list[tuple[float, float]]:
+        """The effort-to-quality curve as ``(effort, precision)`` pairs.
+
+        The §6.1 evaluation primitive in serializable form — what the
+        scenario harness emits per workload so regressions in *how fast*
+        a strategy converges (not just where it ends) are visible.
+        """
+        return [(float(e), float(p)) for e, p
+                in zip(self.efforts(relative=relative), self.precisions())]
+
+    def summary_dict(self) -> dict[str, float | int | bool]:
+        """Headline scalars for tables and JSON reports."""
+        return {
+            "n_objects": int(self.n_objects),
+            "n_iterations": int(self.n_iterations),
+            "total_effort": int(self.total_effort),
+            "initial_precision": float(self.initial_precision),
+            "final_precision": float(self.final_precision()),
+            "final_uncertainty": float(self.uncertainties()[-1]),
+            "goal_reached": bool(self.goal_reached),
+        }
+
     def strategy_usage(self) -> dict[str, int]:
         """How many iterations each (sub-)strategy selected the object."""
         usage: dict[str, int] = {}

@@ -292,18 +292,25 @@ class ValidationProcess:
         return tuple(reconsidered)
 
     # ------------------------------------------------------------------
-    def run(self) -> ValidationReport:
-        """Iterate until the goal holds, the budget is spent, or all objects
-        are validated; return the full report."""
-        goal_reached = self.goal.satisfied(self)
-        while not self.is_done():
-            self.step()
-            goal_reached = self.goal.satisfied(self)
+    def report(self) -> ValidationReport:
+        """The run-so-far as a report (also valid mid-run).
+
+        External drivers that call :meth:`step` themselves — the scenario
+        conformance harness records per-step state between iterations —
+        use this to get the same artifact :meth:`run` returns.
+        """
         return ValidationReport(
             n_objects=self.answer_set.n_objects,
             initial_precision=(float("nan") if self._initial_precision is None
                                else self._initial_precision),
             initial_uncertainty=self._initial_uncertainty,
             records=list(self.records),
-            goal_reached=goal_reached,
+            goal_reached=self.goal.satisfied(self),
         )
+
+    def run(self) -> ValidationReport:
+        """Iterate until the goal holds, the budget is spent, or all objects
+        are validated; return the full report."""
+        while not self.is_done():
+            self.step()
+        return self.report()

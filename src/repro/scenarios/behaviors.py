@@ -1,0 +1,355 @@
+"""Time-varying worker behaviors and arrival schedules for scenarios.
+
+The crowd simulator (:mod:`repro.simulation.crowd`) draws every answer from
+a *stationary* per-worker confusion matrix — the §2/Figure 1 world the
+paper's experiments live in. Real deployments are not stationary: workers
+tire (reliability drift), spam accounts behave until they have built a
+reputation and then turn (sleepers), organized fraud rings copy a leader
+(collusion, cf. CDAS and cross-validation against colluding sources), and
+traffic arrives in bursts rather than a smooth Poisson stream.
+
+Each behavior here is a declarative, composable ingredient of a
+:class:`~repro.scenarios.spec.ScenarioSpec`:
+
+* a :class:`WorkerBehavior` attaches to a deterministic subset of workers
+  and modulates how their answers are drawn **as a function of the
+  worker's answer ordinal** (their 1st, 2nd, … answer in arrival order),
+  so the same compiled scenario produces the identical label for a cell in
+  both the batch matrix and the event replay;
+* an :class:`ArrivalSchedule` turns an ordered event sequence into
+  arrival timestamps.
+
+All randomness is threaded from compiler-provided generators — behaviors
+never create their own (`ensure_rng(None)`) streams — which is what makes
+a scenario a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.simulation.profiles import apply_difficulty, diagonal_confusion
+from repro.utils.checks import check_fraction, check_positive_int
+from repro.workers.types import WorkerType
+
+
+def _eligible_workers(worker_types: tuple[WorkerType, ...],
+                      eligible: tuple[WorkerType, ...]) -> np.ndarray:
+    return np.flatnonzero(np.array([t in eligible for t in worker_types]))
+
+
+def _select_fraction(candidates: np.ndarray, fraction: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Deterministically draw ``fraction`` of the candidates.
+
+    A positive fraction selects at least one worker (tiny communities
+    would otherwise round every behavior away); ``fraction=0.0`` selects
+    none — the natural control arm of a behavior sweep.
+    """
+    if candidates.size == 0 or fraction <= 0.0:
+        return candidates[:0]
+    count = max(1, int(round(fraction * candidates.size)))
+    chosen = rng.choice(candidates, size=min(count, candidates.size),
+                        replace=False)
+    return np.sort(chosen)
+
+
+class WorkerBehavior(abc.ABC):
+    """One time-varying modification of a subset of workers.
+
+    The compiler calls :meth:`attach` once (choosing the affected workers
+    and any per-worker hidden state) and then :meth:`draw` for every answer
+    an affected worker gives, in that worker's arrival order.
+    """
+
+    #: Short machine-readable identifier (used in reports and registries).
+    name: str = "abstract"
+
+    #: Whether affected workers should count as faulty when scoring
+    #: detection precision (drifting workers are degraded, not adversarial).
+    marks_faulty: bool = True
+
+    @abc.abstractmethod
+    def attach(self,
+               worker_types: tuple[WorkerType, ...],
+               confusions: np.ndarray,
+               answer_counts: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        """Resolve the affected worker set for one compiled scenario.
+
+        Parameters
+        ----------
+        worker_types:
+            True type of every worker (post population allocation).
+        confusions:
+            The ``k × m × m`` base confusion matrices (read-only use).
+        answer_counts:
+            Total answers each worker will give in this scenario, so
+            behaviors can scale ordinal-based effects.
+        rng:
+            The behavior's dedicated child stream.
+
+        Returns
+        -------
+        The sorted indices of the workers this behavior governs.
+        """
+
+    @abc.abstractmethod
+    def draw(self, worker: int, obj: int, ordinal: int, gold_label: int,
+             base_confusion: np.ndarray, difficulty: float,
+             rng: np.random.Generator) -> int | None:
+        """Draw the label for one answer, or ``None`` to defer.
+
+        ``ordinal`` is 0-based over the worker's own answers in arrival
+        order; ``difficulty`` is the object's difficulty in [0, 1] —
+        honest behaviors must respect it, adversarial ones (spam phases,
+        copied answers) rightly ignore it. Returning ``None`` lets the
+        compiler fall back to the worker's base (stationary) draw — e.g.
+        a sleeper still in the honest phase — which applies difficulty
+        itself.
+        """
+
+
+@dataclass
+class ReliabilityDrift(WorkerBehavior):
+    """Honest workers whose accuracy drifts linearly over their answers.
+
+    Models fatigue (``end_accuracy < start_accuracy``) or learning
+    (``end_accuracy > start_accuracy``): the effective confusion matrix of
+    an affected worker at their ``a``-th answer is the diagonal matrix
+    whose accuracy interpolates from ``start_accuracy`` to
+    ``end_accuracy`` across their total answer count. CDAS-style evolving
+    worker quality, expressed as a pure function of the answer ordinal.
+    """
+
+    fraction: float = 0.5
+    start_accuracy: float = 0.9
+    end_accuracy: float = 0.4
+    eligible: tuple[WorkerType, ...] = (WorkerType.NORMAL, WorkerType.RELIABLE)
+    name: str = field(default="reliability_drift", init=False)
+    marks_faulty: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fraction, "fraction")
+        check_fraction(self.start_accuracy, "start_accuracy")
+        check_fraction(self.end_accuracy, "end_accuracy")
+        self._totals: dict[int, int] = {}
+
+    def attach(self, worker_types, confusions, answer_counts, rng):
+        chosen = _select_fraction(
+            _eligible_workers(worker_types, self.eligible),
+            self.fraction, rng)
+        self._totals = {int(w): int(answer_counts[w]) for w in chosen}
+        return chosen
+
+    def draw(self, worker, obj, ordinal, gold_label, base_confusion,
+             difficulty, rng):
+        total = self._totals.get(worker, 0)
+        phase = ordinal / (total - 1) if total > 1 else 0.0
+        accuracy = (1.0 - phase) * self.start_accuracy \
+            + phase * self.end_accuracy
+        m = base_confusion.shape[0]
+        confusion = diagonal_confusion(m, np.full(m, accuracy))
+        if difficulty > 0:  # drifters are honest: hard questions stay hard
+            confusion = apply_difficulty(confusion, difficulty)
+        return int(rng.choice(m, p=confusion[gold_label]))
+
+
+@dataclass
+class SleeperSpammer(WorkerBehavior):
+    """Workers that answer honestly for ``honest_answers``, then turn.
+
+    The reputation-farming attack: a sleeper's first answers come from
+    their (honest) base confusion — :meth:`draw` defers — after which every
+    answer is uniform spam on a pet label chosen per worker at attach time
+    (or uniformly random answers with ``mode="random"``).
+    """
+
+    fraction: float = 0.25
+    honest_answers: int = 5
+    mode: str = "uniform"
+    eligible: tuple[WorkerType, ...] = (WorkerType.NORMAL, WorkerType.RELIABLE)
+    name: str = field(default="sleeper_spammer", init=False)
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fraction, "fraction")
+        if self.honest_answers < 0:
+            raise DatasetError(
+                f"honest_answers must be >= 0, got {self.honest_answers}")
+        if self.mode not in ("uniform", "random"):
+            raise DatasetError(f"mode must be 'uniform' or 'random', "
+                               f"got {self.mode!r}")
+        self._pet_labels: dict[int, int] = {}
+
+    def attach(self, worker_types, confusions, answer_counts, rng):
+        chosen = _select_fraction(
+            _eligible_workers(worker_types, self.eligible),
+            self.fraction, rng)
+        m = confusions.shape[1]
+        self._pet_labels = {int(w): int(rng.integers(m)) for w in chosen}
+        return chosen
+
+    def draw(self, worker, obj, ordinal, gold_label, base_confusion,
+             difficulty, rng):
+        if ordinal < self.honest_answers:
+            return None  # still in the honest phase: base draw
+        m = base_confusion.shape[0]
+        if self.mode == "uniform":
+            return self._pet_labels[worker]
+        return int(rng.integers(m))
+
+
+@dataclass
+class CollusionClique(WorkerBehavior):
+    """A clique whose followers copy a leader's answers.
+
+    The leader answers from their own base confusion; every follower, with
+    probability ``copy_probability``, submits the label the leader gave (or
+    would give) for the same object, and otherwise falls back to their own
+    base draw. Copies are resolved against a leader answer sheet
+    precomputed at attach time, so the copied label does not depend on
+    whether the leader's answer event happens to arrive before the
+    follower's — colluders coordinating out-of-band.
+    """
+
+    size: int = 4
+    copy_probability: float = 0.95
+    eligible: tuple[WorkerType, ...] = (
+        WorkerType.NORMAL, WorkerType.RELIABLE, WorkerType.SLOPPY)
+    name: str = field(default="collusion_clique", init=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size, "size")
+        check_fraction(self.copy_probability, "copy_probability")
+        self.leader: int | None = None
+        self._members: tuple[int, ...] = ()
+        self._sheet: np.ndarray | None = None
+
+    def attach(self, worker_types, confusions, answer_counts, rng):
+        candidates = _eligible_workers(worker_types, self.eligible)
+        if candidates.size == 0:
+            return candidates
+        size = min(self.size, candidates.size)
+        clique = np.sort(rng.choice(candidates, size=size, replace=False))
+        self.leader = int(clique[0])
+        self._members = tuple(int(w) for w in clique)
+        self._leader_confusion = confusions[self.leader]
+        self._sheet = None  # filled per gold vector via prepare()
+        return clique
+
+    def prepare(self, gold: np.ndarray, difficulty: np.ndarray,
+                rng: np.random.Generator) -> None:
+        """Precompute the leader's answer for every object (attach step 2).
+
+        The leader is an honest-typed worker, so their sheet respects
+        per-object difficulty like every other honest draw.
+        """
+        if self.leader is None:
+            return
+        m = self._leader_confusion.shape[0]
+        sheet = np.empty(gold.size, dtype=np.int64)
+        for i, g in enumerate(gold):
+            confusion = self._leader_confusion
+            if difficulty[i] > 0:
+                confusion = apply_difficulty(confusion, float(difficulty[i]))
+            sheet[i] = rng.choice(m, p=confusion[g])
+        self._sheet = sheet
+
+    def draw(self, worker, obj, ordinal, gold_label, base_confusion,
+             difficulty, rng):
+        if worker == self.leader:
+            return int(self._sheet[obj]) if self._sheet is not None else None
+        if self._sheet is None or rng.random() >= self.copy_probability:
+            return None  # follower deviates: own base draw
+        return int(self._sheet[obj])
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """Clique membership of the last attach (leader first)."""
+        return self._members
+
+
+# ----------------------------------------------------------------------
+# Arrival schedules
+# ----------------------------------------------------------------------
+class ArrivalSchedule(abc.ABC):
+    """Maps an ordered event sequence onto arrival timestamps."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def times(self, n_events: int, rng: np.random.Generator) -> np.ndarray:
+        """Strictly increasing arrival times for ``n_events`` events."""
+
+
+@dataclass(frozen=True)
+class PoissonSchedule(ArrivalSchedule):
+    """Memoryless arrivals: exponential inter-event gaps (the default)."""
+
+    rate: float = 100.0
+    name: str = field(default="poisson", init=False)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise DatasetError(f"rate must be > 0, got {self.rate}")
+
+    def times(self, n_events: int, rng: np.random.Generator) -> np.ndarray:
+        return np.cumsum(rng.exponential(1.0 / self.rate, size=n_events))
+
+
+@dataclass(frozen=True)
+class BurstySchedule(ArrivalSchedule):
+    """Heavy-tailed arrivals: dense bursts separated by Pareto lulls.
+
+    Events arrive in bursts of geometric size (mean ``burst_size``) with
+    fast in-burst gaps (exponential at ``rate``); gaps *between* bursts are
+    Pareto-distributed with tail index ``alpha`` — small alpha, heavy tail.
+    Stresses any component that assumes smooth arrival pacing (refresh
+    cadence, conclude_every batching).
+    """
+
+    rate: float = 100.0
+    burst_size: int = 20
+    alpha: float = 1.5
+    lull_scale: float = 1.0
+    name: str = field(default="bursty", init=False)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise DatasetError(f"rate must be > 0, got {self.rate}")
+        check_positive_int(self.burst_size, "burst_size")
+        if self.alpha <= 0:
+            raise DatasetError(f"alpha must be > 0, got {self.alpha}")
+        if self.lull_scale <= 0:
+            raise DatasetError(
+                f"lull_scale must be > 0, got {self.lull_scale}")
+
+    def times(self, n_events: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = rng.exponential(1.0 / self.rate, size=n_events)
+        if n_events:
+            # Geometric burst boundaries: each event starts a new burst
+            # with probability 1/burst_size; boundary gaps become lulls.
+            boundaries = rng.random(n_events) < (1.0 / self.burst_size)
+            boundaries[0] = False
+            lulls = (rng.pareto(self.alpha, size=n_events) + 1.0) \
+                * self.lull_scale
+            gaps = np.where(boundaries, lulls, gaps)
+        return np.cumsum(gaps)
+
+
+#: Behaviors exposed to declarative registry specs, by name.
+BEHAVIOR_TYPES = {
+    "reliability_drift": ReliabilityDrift,
+    "sleeper_spammer": SleeperSpammer,
+    "collusion_clique": CollusionClique,
+}
+
+#: Schedules exposed to declarative registry specs, by name.
+SCHEDULE_TYPES = {
+    "poisson": PoissonSchedule,
+    "bursty": BurstySchedule,
+}

@@ -1,0 +1,301 @@
+"""Deterministic scenario compilation: one seed → batch set + event replay.
+
+``compile_scenario`` lowers a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` into a
+:class:`CompiledScenario` holding *both* execution surfaces:
+
+* the **batch view** — an :class:`~repro.core.answer_set.AnswerSet` plus
+  gold labels and a precomputed expert label sheet, consumable by
+  ``ValidationProcess``/``IncrementalEM``;
+* the **stream view** — timed
+  :class:`~repro.simulation.stream.AnswerEvent` /
+  :class:`~repro.simulation.stream.ValidationEvent` sequences, consumable
+  by :func:`repro.simulation.stream.replay` into a
+  :class:`~repro.streaming.ValidationSession`.
+
+Both views are projections of the same compiled label draws: the label a
+worker gives an object is decided exactly once, so a batch solve and an
+event replay of the same scenario aggregate identical answers — the
+invariant the conformance harness (:mod:`repro.scenarios.runner`) asserts.
+
+Determinism comes from named sub-streams spawned statelessly off the
+scenario seed (:func:`repro.utils.rng.spawn_rngs`): gold draws, type
+allocation, confusion draws, sparsity mask, arrival order, arrival times,
+per-behavior randomness, label draws, and expert slips each get their own
+generator, so no component's draw count can perturb another's stream.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.answer_set import MISSING, AnswerSet
+from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.crowd import (
+    SimulatedCrowd,
+    allocate_types,
+    answer_mask,
+    draw_confusions,
+)
+from repro.simulation.profiles import apply_difficulty
+from repro.simulation.stream import (
+    AnswerEvent,
+    ValidationEvent,
+    merge_streams,
+)
+from repro.utils.rng import spawn_rngs
+from repro.workers.types import WorkerType
+
+#: Named seed sub-streams, in spawn order (the order is part of the
+#: replay contract — append only).
+_STREAMS = ("gold", "types", "confusions", "mask", "order", "times",
+            "difficulty", "labels", "expert", "validations")
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A fully materialized scenario (see module docstring).
+
+    Attributes
+    ----------
+    spec, seed:
+        Provenance; ``compile_scenario(spec, seed)`` with the same pair is
+        bit-identical.
+    answer_set:
+        The batch view of every compiled answer.
+    gold:
+        Hidden true label per object.
+    worker_types:
+        Base type of each worker (pre-behavior).
+    behavior_workers:
+        ``{behavior name: worker indices}`` as resolved at compile time.
+    true_faulty_mask:
+        Workers an ideal detector should flag: base sloppy/spammers plus
+        workers governed by a ``marks_faulty`` behavior (sleepers,
+        colluders — not drifters).
+    true_spammer_mask:
+        The spammer subset of the above (base uniform/random spammers plus
+        sleepers and colluders, whose answers carry no independent signal).
+    difficulty:
+        Per-object difficulty in effect during label draws.
+    expert_labels:
+        The expert's (possibly fallible) label sheet for every object.
+    answer_events, validation_events:
+        The stream view; answer events cover exactly the batch matrix.
+    """
+
+    spec: ScenarioSpec
+    seed: int
+    answer_set: AnswerSet
+    gold: np.ndarray
+    worker_types: tuple[WorkerType, ...]
+    behavior_workers: dict[str, tuple[int, ...]]
+    true_faulty_mask: np.ndarray
+    true_spammer_mask: np.ndarray
+    difficulty: np.ndarray
+    expert_labels: np.ndarray
+    answer_events: tuple[AnswerEvent, ...]
+    validation_events: tuple[ValidationEvent, ...]
+
+    @property
+    def n_objects(self) -> int:
+        return self.answer_set.n_objects
+
+    @property
+    def n_workers(self) -> int:
+        return self.answer_set.n_workers
+
+    @property
+    def n_labels(self) -> int:
+        return self.answer_set.n_labels
+
+    def events(self) -> tuple:
+        """Answer + validation events merged in time order."""
+        return tuple(merge_streams(self.answer_events,
+                                   self.validation_events))
+
+    def expert_mistake_indices(self) -> np.ndarray:
+        """Objects whose compiled expert label disagrees with gold."""
+        return np.flatnonzero(self.expert_labels != self.gold)
+
+    def as_crowd(self) -> SimulatedCrowd:
+        """Adapter for consumers of the simulator's batch product.
+
+        The returned crowd reports the *base* confusions and types; the
+        answers themselves already include every behavioral effect.
+        """
+        return SimulatedCrowd(
+            answer_set=self.answer_set,
+            gold=self.gold,
+            worker_types=self.worker_types,
+            true_confusions=self._base_confusions,
+            config=self.spec.to_crowd_config(),
+        )
+
+    # set privately by compile_scenario (dataclass is frozen).
+    _base_confusions: np.ndarray = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (f"CompiledScenario(name={self.spec.name!r}, seed={self.seed}, "
+                f"n_objects={self.n_objects}, n_workers={self.n_workers}, "
+                f"n_answers={self.answer_set.n_answers}, "
+                f"behaviors={sorted(self.behavior_workers)})")
+
+
+def _stratified_difficulty(spec: ScenarioSpec,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Per-object difficulty from the spec's strata (shuffled assignment)."""
+    n = spec.n_objects
+    if spec.difficulty_strata is None:
+        return np.zeros(n)
+    fractions = np.array([max(0.0, f) for f, _ in spec.difficulty_strata])
+    if fractions.sum() <= 0:
+        return np.zeros(n)
+    fractions = fractions / fractions.sum()
+    counts = np.floor(fractions * n).astype(int)
+    while counts.sum() < n:  # largest-remainder top-up
+        counts[int(np.argmax(fractions * n - counts))] += 1
+    difficulty = np.concatenate([
+        np.full(count, level)
+        for count, (_, level) in zip(counts, spec.difficulty_strata)
+    ])[:n]
+    rng.shuffle(difficulty)
+    return difficulty
+
+
+def compile_scenario(spec: ScenarioSpec,
+                     seed: int | None = None) -> CompiledScenario:
+    """Compile ``spec`` deterministically (see module docstring).
+
+    Examples
+    --------
+    >>> from repro.scenarios.spec import ScenarioSpec
+    >>> spec = ScenarioSpec(name="demo", n_objects=12, n_workers=6, seed=3)
+    >>> compiled = compile_scenario(spec)
+    >>> compiled.answer_set.n_objects, len(compiled.answer_events) > 0
+    (12, True)
+    >>> compiled2 = compile_scenario(spec)
+    >>> bool((compiled.answer_set.matrix == compiled2.answer_set.matrix).all())
+    True
+    """
+    seed = spec.seed if seed is None else int(seed)
+    streams = dict(zip(_STREAMS, spawn_rngs(seed, len(_STREAMS))))
+    n, k, m = spec.n_objects, spec.n_workers, spec.n_labels
+    config = spec.to_crowd_config()
+
+    # Gold labels (label skew lives in the priors).
+    priors = (np.full(m, 1.0 / m) if spec.label_priors is None
+              else np.asarray(spec.label_priors, dtype=float))
+    priors = priors / priors.sum()
+    gold = streams["gold"].choice(m, size=n, p=priors)
+
+    # Base community: types, confusions, sparsity.
+    types = allocate_types(config.population, k)
+    streams["types"].shuffle(types)
+    types = tuple(types)
+    confusions = draw_confusions(types, m, spec.reliability,
+                                 streams["confusions"])
+    mask = answer_mask(config, streams["mask"])
+    difficulty = _stratified_difficulty(spec, streams["difficulty"])
+
+    # Arrival order and times over all answer cells.
+    obj_idx, wrk_idx = np.nonzero(mask)
+    permutation = streams["order"].permutation(obj_idx.size)
+    obj_idx, wrk_idx = obj_idx[permutation], wrk_idx[permutation]
+    times = spec.schedule.times(obj_idx.size, streams["times"])
+
+    # Behaviors: fresh copies per compile (attach state must not leak
+    # across compiles of a shared spec), each with its own child stream.
+    behaviors = [copy.deepcopy(b) for b in spec.behaviors]
+    behavior_rngs = spawn_rngs(
+        np.random.SeedSequence((seed, 0xBEAF)), len(behaviors))
+    answer_counts = np.bincount(wrk_idx, minlength=k)
+    governed: dict[int, list] = {}
+    behavior_workers: dict[str, tuple[int, ...]] = {}
+    extra_faulty = np.zeros(k, dtype=bool)
+    for behavior, rng in zip(behaviors, behavior_rngs):
+        workers = behavior.attach(types, confusions, answer_counts, rng)
+        prepare = getattr(behavior, "prepare", None)
+        if prepare is not None:
+            prepare(gold, difficulty, rng)
+        # Same-class behaviors (two sleeper cohorts with different turn
+        # points) share a name: report the union of their worker sets.
+        previous = behavior_workers.get(behavior.name, ())
+        behavior_workers[behavior.name] = tuple(sorted(
+            set(previous) | {int(w) for w in workers}))
+        for worker in workers:
+            governed.setdefault(int(worker), []).append((behavior, rng))
+        if behavior.marks_faulty and len(workers):
+            extra_faulty[np.asarray(workers, dtype=int)] = True
+
+    # Label draws, one per answer cell, in arrival order. Ordinals count
+    # each worker's answers as they arrive, so behaviors keyed on "the
+    # worker's a-th answer" mean the same thing in both views.
+    label_rng = streams["labels"]
+    ordinals = np.zeros(k, dtype=np.int64)
+    matrix = np.full((n, k), MISSING, dtype=np.int64)
+    answer_events: list[AnswerEvent] = []
+    for position in range(obj_idx.size):
+        i, j = int(obj_idx[position]), int(wrk_idx[position])
+        ordinal = int(ordinals[j])
+        ordinals[j] += 1
+        label: int | None = None
+        for behavior, rng in governed.get(j, ()):
+            label = behavior.draw(j, i, ordinal, int(gold[i]),
+                                  confusions[j], float(difficulty[i]), rng)
+            if label is not None:
+                break
+        if label is None:
+            conf = confusions[j]
+            if not types[j].is_spammer and difficulty[i] > 0:
+                conf = apply_difficulty(conf, float(difficulty[i]))
+            label = int(label_rng.choice(m, p=conf[gold[i]]))
+        matrix[i, j] = label
+        answer_events.append(AnswerEvent(
+            time=float(times[position]), object_index=i, worker_index=j,
+            label=label))
+
+    # Expert label sheet: gold, with compile-time slips.
+    expert_rng = streams["expert"]
+    expert_labels = np.array(gold, copy=True)
+    if spec.expert.mistake_probability > 0 and m > 1:
+        slips = expert_rng.random(n) < spec.expert.mistake_probability
+        for i in np.flatnonzero(slips):
+            wrong = [lab for lab in range(m) if lab != gold[i]]
+            expert_labels[i] = int(expert_rng.choice(wrong))
+
+    # Validation events: the expert asserts their sheet for a random
+    # object subset, Poisson-paced after the answer stream is underway.
+    validation_rng = streams["validations"]
+    order = validation_rng.permutation(n)[:spec.budget]
+    horizon = float(times[-1]) if times.size else 1.0
+    validation_times = np.sort(
+        validation_rng.uniform(0.0, horizon, size=order.size))
+    validation_events = tuple(
+        ValidationEvent(time=float(t), object_index=int(i),
+                        label=int(expert_labels[i]))
+        for t, i in zip(validation_times, order))
+
+    answer_set = AnswerSet(matrix,
+                           labels=tuple(f"l{c + 1}" for c in range(m)))
+    base_faulty = np.array([t.is_faulty for t in types])
+    base_spammer = np.array([t.is_spammer for t in types])
+    compiled = CompiledScenario(
+        spec=spec,
+        seed=seed,
+        answer_set=answer_set,
+        gold=gold,
+        worker_types=types,
+        behavior_workers=behavior_workers,
+        true_faulty_mask=base_faulty | extra_faulty,
+        true_spammer_mask=base_spammer | extra_faulty,
+        difficulty=difficulty,
+        expert_labels=expert_labels,
+        answer_events=tuple(answer_events),
+        validation_events=validation_events,
+        _base_confusions=confusions,
+    )
+    return compiled

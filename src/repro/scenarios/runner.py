@@ -1,0 +1,338 @@
+"""The differential end-to-end conformance harness.
+
+A :class:`ScenarioRunner` drives one compiled scenario through the three
+execution paths the system ships:
+
+1. **batch** — a full :class:`~repro.process.validation_process
+   .ValidationProcess` (Algorithm 1) with a guidance strategy choosing the
+   validation order against the scenario's precompiled expert sheet;
+2. **streaming** — a fresh :class:`~repro.streaming.ValidationSession`
+   replaying the *recorded* batch decisions (validations + worker
+   maskings) event by event through exact warm-started ``conclude``s;
+3. **sharded** — the same replay refined through
+   :class:`~repro.streaming.ShardedRefresher` partition-scoped refreshes.
+
+and then checks that they agree:
+
+* batch vs streaming must match to ``exact_atol`` (the streaming exact
+  path is bit-for-bit the batch kernel, so the observed divergence is
+  0.0 — any widening is a regression in the view-maintenance contract);
+* sharded vs batch is the independent-blocks approximation, held to the
+  documented ``sharded_atol`` posterior divergence **or**
+  ``sharded_map_agreement`` MAP-label agreement (single-block refreshers
+  must meet the exact tolerance).
+
+The outcome bundles the paper's §6.1 effort-to-quality curves (via
+:class:`~repro.process.report.ValidationReport`) and spammer-detection
+precision/recall against the scenario's ground-truth faulty mask, so a
+scenario run doubles as a metrics report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.experts.simulated import ScriptedExpert
+from repro.guidance.base import GuidanceStrategy
+from repro.guidance.information_gain import (
+    LOOKAHEAD_MODES,
+    InformationGainStrategy,
+)
+from repro.process.report import ValidationReport
+from repro.process.validation_process import ValidationProcess
+from repro.scenarios.compiler import CompiledScenario
+from repro.streaming.session import ValidationSession
+from repro.streaming.sharded import ShardedRefresher
+from repro.utils.rng import spawn_rngs
+from repro.workers.spammer_detection import (
+    SpammerDetector,
+    detection_precision_recall,
+)
+
+
+class ConformanceError(ReproError):
+    """Raised when execution paths disagree beyond the documented bounds."""
+
+
+@dataclass(frozen=True)
+class RecordedStep:
+    """One batch iteration, replayable against a session."""
+
+    object_index: int
+    expert_label: int
+    masked_workers: frozenset[int]
+
+
+@dataclass(frozen=True)
+class PathDivergence:
+    """Posterior disagreement between two execution paths."""
+
+    max_abs_posterior_gap: float
+    map_agreement: float
+
+    def __str__(self) -> str:
+        return (f"L∞={self.max_abs_posterior_gap:.3e}, "
+                f"MAP agreement={self.map_agreement:.3f}")
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Everything one conformance run produced.
+
+    Attributes
+    ----------
+    scenario, lookahead:
+        Which workload ran, under which guidance look-ahead mode.
+    report:
+        The batch path's full effort-to-quality trace.
+    streaming_divergence, sharded_divergence:
+        Cross-path posterior agreement (streaming vs batch, sharded vs
+        batch).
+    detection_precision, detection_recall:
+        Spammer detection against the scenario's ``true_spammer_mask``
+        after the run's final validation state.
+    n_detected, n_truly_faulty:
+        Sizes behind the precision/recall.
+    elapsed_seconds:
+        Wall clock of the full three-path run.
+    """
+
+    scenario: str
+    lookahead: str
+    report: ValidationReport
+    streaming_divergence: PathDivergence
+    sharded_divergence: PathDivergence
+    detection_precision: float
+    detection_recall: float
+    n_detected: int
+    n_truly_faulty: int
+    elapsed_seconds: float = 0.0
+
+    def summary(self) -> dict[str, float | str | int]:
+        """Flat scalars for tables and JSON reports."""
+        return {
+            "scenario": self.scenario,
+            "lookahead": self.lookahead,
+            "initial_precision": float(self.report.initial_precision),
+            "final_precision": float(self.report.final_precision()),
+            "effort": int(self.report.total_effort),
+            "stream_linf": float(
+                self.streaming_divergence.max_abs_posterior_gap),
+            "sharded_linf": float(
+                self.sharded_divergence.max_abs_posterior_gap),
+            "sharded_map_agreement": float(
+                self.sharded_divergence.map_agreement),
+            "detection_precision": float(self.detection_precision),
+            "detection_recall": float(self.detection_recall),
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
+
+def _divergence(reference: np.ndarray, other: np.ndarray) -> PathDivergence:
+    gap = float(np.max(np.abs(reference - other))) if reference.size else 0.0
+    agreement = float(np.mean(
+        np.argmax(reference, axis=1) == np.argmax(other, axis=1))) \
+        if reference.size else 1.0
+    return PathDivergence(max_abs_posterior_gap=gap, map_agreement=agreement)
+
+
+class ScenarioRunner:
+    """Run scenarios through every execution path and assert agreement.
+
+    Parameters
+    ----------
+    strategy_factory:
+        ``(lookahead) -> GuidanceStrategy`` for the batch path; defaults
+        to :class:`~repro.guidance.InformationGainStrategy` with the given
+        look-ahead mode and a small candidate limit (scenario matrices are
+        conformance-sized, not benchmark-sized).
+    candidate_limit:
+        Candidate pruning width for the default strategy.
+    exact_atol:
+        Maximum tolerated batch-vs-streaming posterior divergence. The
+        streaming exact path feeds identical floats to the same kernel, so
+        this is a regression tripwire, not a modeling tolerance.
+    sharded_atol, sharded_map_agreement:
+        The sharded path passes if its posterior divergence stays within
+        ``sharded_atol`` **or** its MAP agreement reaches
+        ``sharded_map_agreement`` — coarse partitions legitimately move
+        probability mass without flipping conclusions.
+    max_objects_per_block:
+        Partition granularity for the sharded path; ``None`` uses a
+        single block (which must then meet ``exact_atol``-level agreement
+        up to cold-start differences, checked against ``sharded_atol``).
+    handle_faulty:
+        Whether the batch path masks detected spammers (Algorithm 1's
+        worker handling); replays mirror whatever the batch path did.
+    seed:
+        Tie-break randomness for the guidance roulette (scenario content
+        is fixed by the compiled scenario, not by this).
+    """
+
+    def __init__(self,
+                 strategy_factory: Callable[[str], GuidanceStrategy]
+                 | None = None,
+                 candidate_limit: int = 8,
+                 exact_atol: float = 1e-9,
+                 sharded_atol: float = 0.15,
+                 sharded_map_agreement: float = 0.85,
+                 max_objects_per_block: int | None = None,
+                 handle_faulty: bool = True,
+                 seed: int = 0) -> None:
+        self.strategy_factory = strategy_factory
+        self.candidate_limit = int(candidate_limit)
+        self.exact_atol = float(exact_atol)
+        self.sharded_atol = float(sharded_atol)
+        self.sharded_map_agreement = float(sharded_map_agreement)
+        self.max_objects_per_block = max_objects_per_block
+        self.handle_faulty = bool(handle_faulty)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def _strategy(self, lookahead: str) -> GuidanceStrategy:
+        if self.strategy_factory is not None:
+            return self.strategy_factory(lookahead)
+        return InformationGainStrategy(
+            candidate_limit=self.candidate_limit, lookahead=lookahead)
+
+    # ------------------------------------------------------------------
+    def run_batch(self, scenario: CompiledScenario, lookahead: str = "exact",
+                  ) -> tuple[ValidationProcess, list[RecordedStep]]:
+        """Path 1: the guided batch process, recording every decision."""
+        rng = spawn_rngs(np.random.SeedSequence((self.seed, 0xC0FFEE)), 1)[0]
+        process = ValidationProcess(
+            scenario.answer_set,
+            ScriptedExpert({i: int(lab)
+                            for i, lab in enumerate(scenario.expert_labels)}),
+            strategy=self._strategy(lookahead),
+            budget=scenario.spec.budget,
+            handle_faulty=self.handle_faulty,
+            gold=scenario.gold,
+            rng=rng,
+        )
+        steps: list[RecordedStep] = []
+        while not process.is_done():
+            record = process.step()
+            steps.append(RecordedStep(
+                object_index=int(record.object_index),
+                expert_label=int(record.expert_label),
+                masked_workers=frozenset(process.session.masked_workers),
+            ))
+        return process, steps
+
+    def replay_streaming(self, scenario: CompiledScenario,
+                         steps: list[RecordedStep],
+                         template: ValidationSession) -> np.ndarray:
+        """Path 2: exact warm-started session replay of the recorded run."""
+        session = self._fresh_session(scenario, template)
+        session.conclude()
+        for step in steps:
+            session.add_validation(step.object_index, step.expert_label,
+                                   overwrite=True)
+            session.set_masked_workers(step.masked_workers)
+            session.conclude()
+        return np.array(session.model.assignment)
+
+    def replay_sharded(self, scenario: CompiledScenario,
+                       steps: list[RecordedStep],
+                       template: ValidationSession) -> np.ndarray:
+        """Path 3: the same replay, refined via partition-scoped refresh."""
+        session = self._fresh_session(scenario, template)
+        block = self.max_objects_per_block \
+            if self.max_objects_per_block is not None \
+            else scenario.n_objects
+        refresher = ShardedRefresher(max_objects_per_block=block)
+        refresher.refresh(session)
+        for step in steps:
+            session.add_validation(step.object_index, step.expert_label,
+                                   overwrite=True)
+            if session.set_masked_workers(step.masked_workers):
+                refresher.invalidate_partition()
+            refresher.refresh(session)
+        return np.array(session.model.assignment)
+
+    @staticmethod
+    def _fresh_session(scenario: CompiledScenario,
+                       template: ValidationSession) -> ValidationSession:
+        """A new session over the scenario with the batch path's knobs."""
+        return ValidationSession.from_answer_set(
+            scenario.answer_set,
+            init=template.init,
+            max_iter=template.max_iter,
+            tol=template.tol,
+            smoothing=template.smoothing,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: CompiledScenario, lookahead: str = "exact",
+            check: bool = True) -> ScenarioOutcome:
+        """All three paths + agreement checks + metrics for one scenario.
+
+        With ``check=True`` (default), a violation of the documented
+        tolerances raises :class:`ConformanceError`; ``check=False``
+        returns the outcome for inspection regardless.
+        """
+        started = time.perf_counter()
+        process, steps = self.run_batch(scenario, lookahead)
+        batch_posteriors = np.array(process.prob_set.assignment)
+
+        streaming = self.replay_streaming(scenario, steps, process.session)
+        sharded = self.replay_sharded(scenario, steps, process.session)
+        streaming_divergence = _divergence(batch_posteriors, streaming)
+        sharded_divergence = _divergence(batch_posteriors, sharded)
+
+        detection = SpammerDetector().detect(
+            scenario.answer_set, process.validation,
+            process.prob_set.priors)
+        precision, recall = detection_precision_recall(
+            detection.spammer_mask, scenario.true_spammer_mask)
+
+        outcome = ScenarioOutcome(
+            scenario=scenario.spec.name,
+            lookahead=lookahead,
+            report=process.report(),
+            streaming_divergence=streaming_divergence,
+            sharded_divergence=sharded_divergence,
+            detection_precision=precision,
+            detection_recall=recall,
+            n_detected=int(np.count_nonzero(detection.spammer_mask)),
+            n_truly_faulty=int(
+                np.count_nonzero(scenario.true_spammer_mask)),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if check:
+            self.check(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def check(self, outcome: ScenarioOutcome) -> None:
+        """Raise :class:`ConformanceError` on out-of-tolerance divergence."""
+        stream_gap = outcome.streaming_divergence.max_abs_posterior_gap
+        if stream_gap > self.exact_atol:
+            raise ConformanceError(
+                f"scenario {outcome.scenario!r} ({outcome.lookahead}): "
+                f"batch vs streaming posteriors diverge by {stream_gap:.3e} "
+                f"(> {self.exact_atol:.1e}) — the exact streaming path must "
+                f"be bit-for-bit with the batch kernel")
+        sharded = outcome.sharded_divergence
+        if (sharded.max_abs_posterior_gap > self.sharded_atol
+                and sharded.map_agreement < self.sharded_map_agreement):
+            raise ConformanceError(
+                f"scenario {outcome.scenario!r} ({outcome.lookahead}): "
+                f"sharded refresh diverges from batch beyond tolerance "
+                f"({sharded}) — allowed L∞ {self.sharded_atol} or MAP "
+                f"agreement >= {self.sharded_map_agreement}")
+
+    def run_matrix(self, scenarios, lookaheads=LOOKAHEAD_MODES,
+                   check: bool = True) -> list[ScenarioOutcome]:
+        """Every scenario × look-ahead mode, collected into one list."""
+        outcomes: list[ScenarioOutcome] = []
+        for scenario in scenarios:
+            for lookahead in lookaheads:
+                outcomes.append(self.run(scenario, lookahead, check=check))
+        return outcomes

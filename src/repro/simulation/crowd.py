@@ -11,7 +11,7 @@ expert and to score precision.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -163,8 +163,34 @@ def allocate_types(population: Mapping[WorkerType, float],
     return types[:n_workers]
 
 
-def _answer_mask(config: CrowdConfig, rng: np.random.Generator) -> np.ndarray:
-    """Boolean ``n × k`` mask of which (object, worker) cells get answers."""
+def draw_confusions(types: Sequence[WorkerType],
+                    n_labels: int,
+                    reliability: float,
+                    rng: np.random.Generator | int | None = None,
+                    ) -> np.ndarray:
+    """Draw the true ``k × m × m`` confusion matrices for a typed community.
+
+    The caller's generator is threaded through every per-worker draw (never
+    a fresh ``ensure_rng(None)``), so a community is a pure function of the
+    type sequence and the generator state — the contract
+    :mod:`repro.scenarios` relies on for single-seed replay.
+    """
+    generator = ensure_rng(rng)
+    return np.stack([
+        confusion_for_type(t, n_labels, reliability, generator)
+        for t in types
+    ])
+
+
+def answer_mask(config: CrowdConfig, rng: np.random.Generator | int | None = None,
+                ) -> np.ndarray:
+    """Boolean ``n × k`` mask of which (object, worker) cells get answers.
+
+    Honors ``answers_per_object`` / ``max_answers_per_worker`` exactly like
+    :func:`simulate_crowd`; exposed so alternative generators (the scenario
+    compiler) sample sparsity identically to the crowd simulator.
+    """
+    rng = ensure_rng(rng)
     n, k = config.n_objects, config.n_workers
     if config.answers_per_object is not None:
         mask = np.zeros((n, k), dtype=bool)
@@ -206,14 +232,11 @@ def simulate_crowd(config: CrowdConfig,
 
     types = allocate_types(config.population, k)
     generator.shuffle(types)
-    confusions = np.stack([
-        confusion_for_type(t, m, config.reliability, generator)
-        for t in types
-    ])
+    confusions = draw_confusions(types, m, config.reliability, generator)
 
     difficulty = np.broadcast_to(
         np.asarray(config.difficulty, dtype=float), (n,))
-    mask = _answer_mask(config, generator)
+    mask = answer_mask(config, generator)
 
     matrix = np.full((n, k), MISSING, dtype=np.int64)
     for j, worker_type in enumerate(types):

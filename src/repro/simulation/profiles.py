@@ -37,7 +37,7 @@ SLOPPY_ACCURACY = (0.2, 0.4)
 NORMAL_JITTER = 0.03
 
 
-def _diagonal_confusion(n_labels: int, diagonal: np.ndarray) -> np.ndarray:
+def diagonal_confusion(n_labels: int, diagonal: np.ndarray) -> np.ndarray:
     """Confusion matrix with the given per-label accuracy on the diagonal
     and the remaining mass spread uniformly over wrong labels."""
     diagonal = np.clip(diagonal, 0.0, 1.0)
@@ -55,7 +55,7 @@ def reliable_confusion(n_labels: int,
     """Confusion matrix of a reliable worker (accuracy ~ U[0.9, 0.99])."""
     generator = ensure_rng(rng)
     diagonal = generator.uniform(*RELIABLE_ACCURACY, size=n_labels)
-    return _diagonal_confusion(n_labels, diagonal)
+    return diagonal_confusion(n_labels, diagonal)
 
 
 def normal_confusion(n_labels: int,
@@ -71,7 +71,7 @@ def normal_confusion(n_labels: int,
     check_fraction(reliability, "reliability")
     generator = ensure_rng(rng)
     jitter = generator.uniform(-NORMAL_JITTER, NORMAL_JITTER, size=n_labels)
-    return _diagonal_confusion(n_labels, np.full(n_labels, reliability) + jitter)
+    return diagonal_confusion(n_labels, np.full(n_labels, reliability) + jitter)
 
 
 def sloppy_confusion(n_labels: int,
@@ -80,7 +80,7 @@ def sloppy_confusion(n_labels: int,
     """Confusion matrix of a sloppy worker (accuracy ~ U[0.15, 0.40])."""
     generator = ensure_rng(rng)
     diagonal = generator.uniform(*SLOPPY_ACCURACY, size=n_labels)
-    return _diagonal_confusion(n_labels, diagonal)
+    return diagonal_confusion(n_labels, diagonal)
 
 
 def uniform_spammer_confusion(n_labels: int,

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.answer_set import MISSING
 from repro.simulation.crowd import SimulatedCrowd
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, spawn_rngs
 
 #: Supported replay orders for :func:`answer_stream`.
 ORDERS = ("shuffled", "by_object", "by_worker")
@@ -114,6 +114,32 @@ def merge_streams(*streams: Iterable) -> Iterator:
     return heapq.merge(*streams, key=lambda event: event.time)
 
 
+def crowd_streams(crowd: SimulatedCrowd,
+                  *,
+                  answer_rate: float = 100.0,
+                  validation_rate: float = 1.0,
+                  validation_limit: int | None = None,
+                  order: str = "shuffled",
+                  seed: int | None = 0) -> Iterator:
+    """Merged answer + validation replay from a **single seed**.
+
+    The RNG-plumbing footgun this closes: :func:`answer_stream` and
+    :func:`validation_stream` each take their own ``rng``, and passing the
+    *same live generator* to both makes each stream's draws depend on how
+    far the other was consumed — under :func:`heapq.merge` the interleaving
+    is time-dependent, so the replay is not reproducible from one seed.
+    Here the two streams get independent children spawned statelessly off
+    ``seed`` (:func:`repro.utils.rng.spawn_rngs`), making the merged replay
+    a pure function of ``(crowd, parameters, seed)``.
+    """
+    answer_rng, validation_rng = spawn_rngs(seed, 2)
+    return merge_streams(
+        answer_stream(crowd, rate=answer_rate, order=order, rng=answer_rng),
+        validation_stream(crowd, rate=validation_rate, limit=validation_limit,
+                          rng=validation_rng),
+    )
+
+
 @dataclass(frozen=True)
 class ReplaySummary:
     """What happened while replaying a stream into a session."""
@@ -133,6 +159,7 @@ def replay(events: Iterable,
            session,
            *,
            conclude_every: int | None = None,
+           conclude_every_seconds: float | None = None,
            refresher=None) -> ReplaySummary:
     """Drive a :class:`~repro.streaming.ValidationSession` with an event stream.
 
@@ -145,6 +172,14 @@ def replay(events: Iterable,
     conclude_every:
         Refine after every this-many events; ``None`` refines only once,
         after the stream ends. A refinement always runs at the end.
+    conclude_every_seconds:
+        Refine whenever event time crosses the next multiple of this
+        interval — a wall-clock refresh cadence, like a service refining
+        on a timer. Unlike ``conclude_every`` this makes the *arrival
+        distribution* matter: a bursty stream packs many events into one
+        refinement and leaves refinements over lulls to no-op, which is
+        exactly what the adversarial arrival scenarios stress. Both
+        cadences may be combined (either trigger refines).
     refresher:
         Optional :class:`repro.streaming.ShardedRefresher`; when given,
         refinements go through partition-scoped refresh instead of the
@@ -153,10 +188,15 @@ def replay(events: Iterable,
     if conclude_every is not None and conclude_every < 1:
         raise ValueError("conclude_every must be >= 1 or None, "
                          f"got {conclude_every}")
+    if conclude_every_seconds is not None and conclude_every_seconds <= 0:
+        raise ValueError("conclude_every_seconds must be > 0 or None, "
+                         f"got {conclude_every_seconds}")
     concludes_before = session.n_concludes
     iterations_before = session.total_em_iterations
     n_answers = n_validations = 0
     duration = 0.0
+    next_refine_time = conclude_every_seconds \
+        if conclude_every_seconds is not None else None
 
     def refine() -> None:
         if refresher is not None:
@@ -181,6 +221,11 @@ def replay(events: Iterable,
         if conclude_every is not None \
                 and (n_answers + n_validations) % conclude_every == 0:
             refine()
+        if next_refine_time is not None and event.time >= next_refine_time:
+            refine()
+            # Skip empty intervals wholesale: refine once per crossing.
+            intervals = int(event.time // conclude_every_seconds) + 1
+            next_refine_time = intervals * conclude_every_seconds
     refine()
     return ReplaySummary(
         n_answers=n_answers,

@@ -9,7 +9,7 @@ from repro.utils.checks import (
     check_row_stochastic,
     check_unique,
 )
-from repro.utils.rng import ensure_rng, split_rng
+from repro.utils.rng import ensure_rng, spawn_rngs, split_rng
 
 __all__ = [
     "check_distribution",
@@ -20,5 +20,6 @@ __all__ = [
     "check_row_stochastic",
     "check_unique",
     "ensure_rng",
+    "spawn_rngs",
     "split_rng",
 ]

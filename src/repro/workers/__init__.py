@@ -6,6 +6,7 @@ from repro.workers.spammer_detection import (
     DEFAULT_TAU_S,
     DetectionResult,
     SpammerDetector,
+    detection_curve,
     detection_precision_recall,
 )
 from repro.workers.types import DEFAULT_POPULATION, WorkerType
@@ -18,6 +19,7 @@ __all__ = [
     "SpammerDetector",
     "WorkerStats",
     "WorkerType",
+    "detection_curve",
     "detection_precision_recall",
     "inter_worker_agreement",
     "worker_stats",

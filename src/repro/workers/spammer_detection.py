@@ -176,6 +176,45 @@ class SpammerDetector:
         )
 
 
+def detection_curve(answer_set: AnswerSet,
+                    validation_order: np.ndarray,
+                    validation_labels: np.ndarray,
+                    true_faulty_mask: np.ndarray,
+                    detector: SpammerDetector | None = None,
+                    priors: np.ndarray | None = None,
+                    ) -> list[dict[str, float]]:
+    """Detection precision/recall after each successive validation.
+
+    Replays ``validation_order``/``validation_labels`` one assertion at a
+    time, running the (stateless) detector on the growing evidence and
+    scoring its spammer flags against ``true_faulty_mask``. This is the
+    evidence-accumulation view of Figure 9 the adversarial scenarios pin
+    in golden fixtures: colluders and sleepers bend this curve in ways a
+    final-state score can hide.
+    """
+    validation_order = np.asarray(validation_order, dtype=np.int64)
+    validation_labels = np.asarray(validation_labels, dtype=np.int64)
+    if validation_order.shape != validation_labels.shape:
+        raise ValueError(
+            f"order/labels shapes differ: {validation_order.shape} vs "
+            f"{validation_labels.shape}")
+    detector = detector or SpammerDetector()
+    validation = ExpertValidation(answer_set.n_objects, answer_set.n_labels)
+    curve: list[dict[str, float]] = []
+    for obj, label in zip(validation_order, validation_labels):
+        validation.assign(int(obj), int(label), overwrite=True)
+        result = detector.detect(answer_set, validation, priors)
+        precision, recall = detection_precision_recall(
+            result.spammer_mask, true_faulty_mask)
+        curve.append({
+            "n_validated": float(validation.count),
+            "precision": float(precision),
+            "recall": float(recall),
+            "n_flagged": float(np.count_nonzero(result.spammer_mask)),
+        })
+    return curve
+
+
 def detection_precision_recall(detected_mask: np.ndarray,
                                true_faulty_mask: np.ndarray,
                                ) -> tuple[float, float]:

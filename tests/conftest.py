@@ -11,6 +11,13 @@ from repro.simulation.crowd import CrowdConfig, simulate_crowd
 from repro.workers.types import WorkerType
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running conformance/stress tests, excluded from the "
+        "CI scenarios job via -m 'not slow'")
+
+
 @pytest.fixture
 def table1_answer_set() -> AnswerSet:
     """Table 1 of the paper: 5 workers × 4 objects, labels 1–4.

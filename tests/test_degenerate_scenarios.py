@@ -1,0 +1,228 @@
+"""Degenerate-scenario edge cases: graceful behavior, never crashes.
+
+The adversarial registry covers rich workloads; these tests push the
+*corners* — an all-spammer crowd, a single-worker community, zero expert
+budget — through :mod:`repro.process.faulty_filter`,
+:mod:`repro.costmodel.allocation`, and the scenario harness itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodel.allocation import (
+    AllocationPoint,
+    allocation_curve,
+    best_allocation,
+    best_allocation_with_time,
+)
+from repro.errors import CostModelError
+from repro.experts.simulated import OracleExpert
+from repro.process.faulty_filter import FaultyWorkerFilter
+from repro.process.validation_process import ValidationProcess
+from repro.scenarios import (
+    ExpertSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    compile_scenario,
+)
+from repro.simulation.crowd import CrowdConfig, simulate_crowd
+from repro.workers.spammer_detection import SpammerDetector
+from repro.workers.types import WorkerType
+
+ALL_SPAMMER = {
+    WorkerType.UNIFORM_SPAMMER: 0.5,
+    WorkerType.RANDOM_SPAMMER: 0.5,
+}
+
+
+# ----------------------------------------------------------------------
+# FaultyWorkerFilter corners
+# ----------------------------------------------------------------------
+class TestFaultyFilterDegenerate:
+    def test_commit_before_any_observe_is_empty(self):
+        filt = FaultyWorkerFilter()
+        assert filt.commit() == frozenset()
+        assert filt.history == [0]
+
+    def test_all_spammer_crowd_masking_is_capped(self):
+        """Even when every worker is flagged every round, the masked-share
+        cap keeps the aggregation from losing the whole community."""
+        crowd = simulate_crowd(
+            CrowdConfig(n_objects=20, n_workers=10, population=ALL_SPAMMER),
+            rng=3)
+        detector = SpammerDetector()
+        filt = FaultyWorkerFilter(persistence=1, max_masked_fraction=0.2)
+        process = ValidationProcess(crowd.answer_set,
+                                    OracleExpert(crowd.gold),
+                                    budget=10, gold=crowd.gold, rng=0)
+        for obj in range(8):
+            process.session.add_validation(obj, int(crowd.gold[obj]),
+                                           overwrite=True)
+        detection = detector.detect(crowd.answer_set, process.validation)
+        suspected = filt.handle(detection)
+        assert len(suspected) <= max(1, int(0.2 * 10))
+
+    def test_single_worker_community(self):
+        filt = FaultyWorkerFilter(persistence=1)
+        matrix = np.array([[0], [1], [0], [1], [0]])
+        from repro.core.answer_set import AnswerSet
+        from repro.core.validation import ExpertValidation
+        answers = AnswerSet(matrix, labels=("a", "b"))
+        validation = ExpertValidation.from_mapping(
+            {0: 0, 1: 0, 2: 0, 3: 0}, 5, 2)
+        detection = SpammerDetector().detect(answers, validation)
+        suspected = filt.handle(detection)
+        # the cap floor allows masking the single worker if truly flagged,
+        # but never errors out
+        assert suspected <= {0}
+
+    def test_streak_break_reinstates_worker(self):
+        filt = FaultyWorkerFilter(persistence=2)
+        flagged = _detection_with_flags(5, [2])
+        clean = _detection_with_flags(5, [])
+        filt.observe(flagged)
+        filt.commit()
+        assert filt.suspected == frozenset()  # persistence not yet met
+        filt.observe(flagged)
+        assert filt.commit() == frozenset({2})
+        filt.observe(clean)
+        assert filt.commit() == frozenset()  # streak broke: re-included
+
+
+def _detection_with_flags(k: int, spammers: list[int]):
+    from repro.workers.spammer_detection import DetectionResult
+    mask = np.zeros(k, dtype=bool)
+    mask[spammers] = True
+    return DetectionResult(
+        spammer_scores=np.where(mask, 0.0, np.inf),
+        error_rates=np.zeros(k),
+        evidence=np.full(k, 5),
+        spammer_mask=mask,
+        sloppy_mask=np.zeros(k, dtype=bool),
+    )
+
+
+# ----------------------------------------------------------------------
+# ValidationProcess corners
+# ----------------------------------------------------------------------
+class TestProcessDegenerate:
+    def test_zero_budget_run_returns_initial_state(self):
+        crowd = simulate_crowd(CrowdConfig(n_objects=10, n_workers=5), rng=1)
+        process = ValidationProcess(crowd.answer_set,
+                                    OracleExpert(crowd.gold),
+                                    budget=0, gold=crowd.gold, rng=0)
+        report = process.run()
+        assert report.n_iterations == 0
+        assert report.total_effort == 0
+        assert report.final_precision() == report.initial_precision
+
+    def test_all_spammer_crowd_survives_validation(self):
+        crowd = simulate_crowd(
+            CrowdConfig(n_objects=12, n_workers=6, population=ALL_SPAMMER),
+            rng=5)
+        process = ValidationProcess(crowd.answer_set,
+                                    OracleExpert(crowd.gold),
+                                    budget=12, gold=crowd.gold, rng=0)
+        report = process.run()
+        # every object validated by the oracle => perfect by exhaustion
+        assert report.final_precision() == 1.0
+
+    def test_single_worker_process(self):
+        matrix = np.array([[0], [1], [0], [1]])
+        from repro.core.answer_set import AnswerSet
+        answers = AnswerSet(matrix, labels=("a", "b"))
+        gold = np.array([0, 0, 1, 1])
+        process = ValidationProcess(answers, OracleExpert(gold),
+                                    budget=4, gold=gold, rng=0)
+        report = process.run()
+        assert report.final_precision() == 1.0
+
+
+# ----------------------------------------------------------------------
+# Scenario harness corners
+# ----------------------------------------------------------------------
+class TestScenarioDegenerate:
+    def test_all_spammer_scenario_conforms(self):
+        """Cross-path agreement holds even when no worker carries signal."""
+        spec = ScenarioSpec(
+            name="all-spam", n_objects=12, n_workers=6,
+            population=ALL_SPAMMER,
+            expert=ExpertSpec(n_validations=6), seed=17)
+        outcome = ScenarioRunner().run(compile_scenario(spec), "exact")
+        assert outcome.streaming_divergence.max_abs_posterior_gap == 0.0
+
+    def test_single_worker_scenario_conforms(self):
+        spec = ScenarioSpec(
+            name="solo", n_objects=8, n_workers=1,
+            population={WorkerType.NORMAL: 1.0},
+            expert=ExpertSpec(n_validations=4), seed=23)
+        outcome = ScenarioRunner().run(compile_scenario(spec), "exact")
+        assert outcome.streaming_divergence.max_abs_posterior_gap == 0.0
+
+    def test_zero_budget_scenario(self):
+        spec = ScenarioSpec(
+            name="nobudget", n_objects=8, n_workers=4,
+            expert=ExpertSpec(n_validations=0), seed=29)
+        compiled = compile_scenario(spec)
+        assert compiled.validation_events == ()
+        outcome = ScenarioRunner().run(compiled, "exact")
+        assert outcome.report.total_effort == 0
+        assert outcome.streaming_divergence.max_abs_posterior_gap == 0.0
+
+
+# ----------------------------------------------------------------------
+# Budget allocation corners
+# ----------------------------------------------------------------------
+class TestAllocationDegenerate:
+    def _crowd(self):
+        return simulate_crowd(
+            CrowdConfig(n_objects=12, n_workers=8, answers_per_object=6),
+            rng=7)
+
+    def test_all_spammer_allocation_curve_completes(self):
+        crowd = simulate_crowd(
+            CrowdConfig(n_objects=12, n_workers=8, answers_per_object=6,
+                        population=ALL_SPAMMER), rng=7)
+        points = allocation_curve(crowd, rho=0.5, theta=5.0,
+                                  shares=[0.5, 0.75, 1.0], rng=0)
+        assert points  # no crash, at least one feasible split
+        best = best_allocation(points)
+        assert 0.0 <= best.precision <= 1.0
+
+    def test_zero_time_budget_constraint(self):
+        points = [
+            AllocationPoint(crowd_share=1.0, phi0=6, n_validations=0,
+                            precision=0.6),
+            AllocationPoint(crowd_share=0.5, phi0=3, n_validations=6,
+                            precision=0.9),
+        ]
+        constrained = best_allocation_with_time(points, max_validations=0)
+        assert constrained.optimum.n_validations == 0
+        assert constrained.boundary_share == 1.0
+
+    def test_unsatisfiable_time_constraint_raises_cleanly(self):
+        points = [AllocationPoint(crowd_share=0.5, phi0=3, n_validations=6,
+                                  precision=0.9)]
+        with pytest.raises(CostModelError, match="time constraint"):
+            best_allocation_with_time(points, max_validations=2)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(CostModelError, match="no allocation points"):
+            best_allocation([])
+
+    def test_infeasible_budget_raises_cost_model_error(self):
+        crowd = self._crowd()
+        with pytest.raises(CostModelError, match="rho must be in"):
+            # total budget below one answer per object: rejected up front
+            allocation_curve(crowd, rho=0.05, theta=1.0, shares=[0.5, 1.0],
+                             rng=0)
+
+    def test_single_worker_allocation(self):
+        crowd = simulate_crowd(
+            CrowdConfig(n_objects=10, n_workers=1,
+                        population={WorkerType.NORMAL: 1.0}), rng=9)
+        points = allocation_curve(crowd, rho=0.5, theta=4.0,
+                                  shares=[0.5, 1.0], rng=0)
+        assert all(p.phi0 <= 1 for p in points)

@@ -42,6 +42,14 @@ def test_streaming_validation_replays_a_stream():
     assert "(expert)" in out
 
 
+def test_adversarial_scenarios_conform():
+    out = run_example("adversarial_scenarios.py")
+    assert "adversarial scenarios" in out
+    assert "cross-path conformance" in out
+    assert "colluding-clique" in out
+    assert "0.0e+00" in out  # streaming replay is bit-for-bit
+
+
 @pytest.mark.parametrize("name", [
     "quickstart.py",
     "image_tagging_validation.py",
@@ -49,6 +57,7 @@ def test_streaming_validation_replays_a_stream():
     "budget_planning.py",
     "interactive_validation.py",
     "streaming_validation.py",
+    "adversarial_scenarios.py",
 ])
 def test_examples_compile(name):
     source = (EXAMPLES / name).read_text()

@@ -23,7 +23,7 @@ class TestRegistry:
             "fig01", "tab01", "tab04", "fig04", "tab05", "fig05", "fig06",
             "fig07", "fig08", "fig09", "fig10", "fig11", "tab06", "fig12",
             "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-            "fig20", "fig21", "fig22", "fig23", "appe",
+            "fig20", "fig21", "fig22", "fig23", "appe", "scen",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -117,6 +117,12 @@ class TestCheapDrivers:
         result = run_experiment("fig06")
         totals = [sum(row[c] for row in result.rows) for c in (1, 2, 3)]
         assert all(95.0 <= t <= 100.5 for t in totals)
+
+    def test_scen(self):
+        result = run_experiment("scen", scale=0.5)  # exact look-ahead only
+        assert len(result.rows) == result.metadata["n_scenarios"]
+        for row in result.rows:
+            assert row[5] <= 1e-9  # stream_linf: bit-for-bit contract
 
 
 class TestCli:
