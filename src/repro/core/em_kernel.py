@@ -373,6 +373,19 @@ class AnswerStats:
         idx = np.asarray(positions, dtype=np.int64)
         return np.unique(self._obj[idx])
 
+    def answer_log(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(objects, workers, labels)`` in exact insertion order (copies).
+
+        The raw append-only triple log — masked workers' answers included —
+        which is the complete mutable input of the statistics: replaying it
+        through :meth:`add_answers` into a fresh instance of the same
+        dimensions rebuilds every aggregate bit-for-bit. This is the
+        serialization surface used by :mod:`repro.state`.
+        """
+        n = self._n_answers
+        return (self._obj[:n].copy(), self._wrk[:n].copy(),
+                self._lab[:n].copy())
+
     def vote_counts(self) -> np.ndarray:
         """Per-object label vote counts over *unmasked* answers (copy)."""
         return self._vote_counts.copy()

@@ -95,3 +95,44 @@ class StreamingError(ReproError):
     when an externally supplied model does not match the session's current
     dimensions.
     """
+
+
+class StateStoreError(ReproError):
+    """Base class for session state-store failures (:mod:`repro.state`).
+
+    Every checkpoint/restore problem derives from this, so callers running
+    a recovery path can catch one class and decide between retrying an
+    older checkpoint and starting cold.
+    """
+
+
+class CheckpointNotFoundError(StateStoreError):
+    """The requested checkpoint (or any checkpoint at all) does not exist."""
+
+
+class CheckpointCorruptionError(StateStoreError):
+    """A checkpoint is unreadable or internally inconsistent.
+
+    Raised for a torn (truncated or unparseable) manifest, a missing or
+    unreadable segment file, segment contents that disagree with the
+    manifest's bookkeeping, and torn non-final write-ahead-log records —
+    anything that must never be silently loaded as session state.
+    """
+
+
+class CheckpointSchemaError(StateStoreError):
+    """A checkpoint was written under an incompatible schema version.
+
+    The on-disk format carries an explicit schema version
+    (:data:`repro.state.STATE_SCHEMA_VERSION`); stale or future versions
+    are rejected instead of being reinterpreted as garbage.
+    """
+
+
+class CheckpointDimensionError(StateStoreError):
+    """A checkpoint's arrays disagree with its declared dimensions.
+
+    Raised when the manifest's ``(n_objects, n_workers, n_labels)`` cannot
+    contain the answer log / validation / model arrays found in the
+    segments — the signature of mixing segments from different sessions.
+    """

@@ -45,6 +45,7 @@ from repro.process.faulty_filter import FaultyWorkerFilter
 from repro.process.goals import NeverSatisfied, ValidationGoal
 from repro.process.report import StepRecord, ValidationReport
 from repro.process.weighting import dynamic_weight
+from repro.state import store as state_events
 from repro.streaming.session import ValidationSession
 from repro.utils.rng import ensure_rng
 from repro.workers.spammer_detection import SpammerDetector
@@ -84,6 +85,16 @@ class ValidationProcess:
     gold:
         Optional ground-truth labels enabling precision tracking and
         precision-based goals.
+    store:
+        Optional :class:`repro.state.SessionStore` giving the run crash
+        durability: every step's mutations are appended to the store's
+        write-ahead log and full checkpoints are taken on the
+        ``checkpoint_every`` cadence (plus once when :meth:`run`
+        finishes), the process-loop analogue of the streaming replay's
+        ``conclude_every_seconds`` timer.
+    checkpoint_every:
+        Checkpoint after every this-many iterations (requires ``store``;
+        ``None`` checkpoints only at the end of :meth:`run`).
     rng:
         Randomness for the roulette wheel and strategy tie-breaks.
 
@@ -116,6 +127,8 @@ class ValidationProcess:
                  confirmation_interval: int | None = None,
                  confirmation_check: ConfirmationCheck | None = None,
                  gold: Sequence[int] | np.ndarray | None = None,
+                 store=None,
+                 checkpoint_every: int | None = None,
                  rng: np.random.Generator | int | None = None) -> None:
         self.answer_set = answer_set
         self.expert = expert
@@ -137,6 +150,14 @@ class ValidationProcess:
             raise ValueError(
                 f"gold must have length {answer_set.n_objects}, "
                 f"got shape {self.gold.shape}")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1 or None, "
+                                 f"got {checkpoint_every}")
+            if store is None:
+                raise ValueError("checkpoint_every requires a store")
+        self.store = store
+        self.checkpoint_every = checkpoint_every
         self.rng = ensure_rng(rng)
 
         # Mutable run state (Algorithm 1, lines 1–4), held by a streaming
@@ -175,6 +196,18 @@ class ValidationProcess:
             return self.session.conclude_snapshot()
         return self.aggregator.conclude(self._active_answer_set,
                                         self.validation, previous=previous)
+
+    def _log(self, record: dict) -> None:
+        """Append a WAL record when a state store is attached.
+
+        Only the session-driven path logs ``conclude`` markers: replaying
+        them re-runs the same warm-started refinement chain, which is what
+        makes a restored session bit-equal to the dead one. A legacy
+        aggregator with an overridden conclude is not WAL-replayable.
+        """
+        if self.store is not None \
+                and (self._session_driven or record.get("kind") != "conclude"):
+            self.store.append(record)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -226,6 +259,7 @@ class ValidationProcess:
             "beliefs": np.array(self.prob_set.assignment[obj]),
         }))
         error_rate = 1.0 - float(self.prob_set.assignment[obj, label])
+        self._log(state_events.validation_event(obj, label, overwrite=True))
         self.session.add_validation(obj, label, overwrite=True)
         self.effort += 1
         self.iteration += 1
@@ -236,6 +270,7 @@ class ValidationProcess:
         self.faulty_filter.observe(detection)
         if self.handle_faulty and worker_branch:
             self.faulty_filter.commit()
+            self._log(state_events.mask_event(self.faulty_filter.suspected))
             self.session.set_masked_workers(self.faulty_filter.suspected)
             self._active_answer_set = self.session.answer_set
         spammer_ratio = detection.faulty_ratio()
@@ -244,6 +279,7 @@ class ValidationProcess:
 
         # (4) Integrate the validation (conclude + filter): a warm-started
         # refinement over the session's delta-maintained statistics.
+        self._log(state_events.conclude_event())
         self.prob_set = self._conclude(previous=self.prob_set)
 
         # (5) Periodic confirmation check for erroneous expert input (§5.5).
@@ -271,6 +307,11 @@ class ValidationProcess:
             reconsidered=reconsidered,
         )
         self.records.append(record)
+        self._log(state_events.step_event(self.iteration))
+        if self.checkpoint_every is not None \
+                and self.iteration % self.checkpoint_every == 0:
+            self.store.checkpoint(self.session, meta={
+                "iteration": self.iteration, "effort": self.effort})
         return record
 
     def _run_confirmation_check(self) -> tuple[int, ...]:
@@ -283,11 +324,14 @@ class ValidationProcess:
                 break
             new_label = int(self.expert.reconsider(int(obj)))
             if new_label != self.validation.label_of(int(obj)):
+                self._log(state_events.validation_event(int(obj), new_label,
+                                                        overwrite=True))
                 self.session.add_validation(int(obj), new_label,
                                             overwrite=True)
             self.effort += 1
             reconsidered.append(int(obj))
         if reconsidered:
+            self._log(state_events.conclude_event())
             self.prob_set = self._conclude(previous=self.prob_set)
         return tuple(reconsidered)
 
@@ -310,7 +354,12 @@ class ValidationProcess:
 
     def run(self) -> ValidationReport:
         """Iterate until the goal holds, the budget is spent, or all objects
-        are validated; return the full report."""
+        are validated; return the full report (plus a final checkpoint
+        when a store is attached)."""
         while not self.is_done():
             self.step()
+        if self.store is not None:
+            self.store.checkpoint(self.session, meta={
+                "iteration": self.iteration, "effort": self.effort,
+                "final": True})
         return self.report()

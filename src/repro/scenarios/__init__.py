@@ -35,8 +35,10 @@ from repro.scenarios.behaviors import (
     CollusionClique,
     PoissonSchedule,
     ReliabilityDrift,
+    ResubmitDuplicates,
     SleeperSpammer,
     WorkerBehavior,
+    WorkerChurn,
 )
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.registry import (
@@ -70,11 +72,13 @@ __all__ = [
     "PoissonSchedule",
     "RecordedStep",
     "ReliabilityDrift",
+    "ResubmitDuplicates",
     "ScenarioOutcome",
     "ScenarioRunner",
     "ScenarioSpec",
     "SleeperSpammer",
     "WorkerBehavior",
+    "WorkerChurn",
     "compile_registered",
     "compile_scenario",
     "get_scenario",

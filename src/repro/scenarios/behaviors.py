@@ -273,6 +273,118 @@ class CollusionClique(WorkerBehavior):
         return self._members
 
 
+@dataclass
+class WorkerChurn(WorkerBehavior):
+    """Workers arrive in generational cohorts: churn, not steady presence.
+
+    Models a marketplace where the worker pool turns over during a
+    campaign: the answer arrival order is reorganized so that generation
+    ``g``'s workers submit only after generation ``g-1``'s have finished.
+    Labels stay base draws (:meth:`draw` always defers) over the same
+    answered-cell set as the churn-free compile — what changes is *when*
+    each worker's answers appear, which is exactly what stresses
+    :meth:`repro.streaming.ValidationSession.grow`:
+    a session replaying the stream keeps meeting brand-new workers
+    mid-campaign and must cold-start their statistics.
+
+    Implemented through the optional ``reorder`` compiler hook: behaviors
+    exposing it get to permute the compiled arrival order after all
+    behaviors have attached.
+    """
+
+    generations: int = 3
+    name: str = field(default="worker_churn", init=False)
+    marks_faulty: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.generations, "generations")
+        self._generation: np.ndarray | None = None
+
+    def attach(self, worker_types, confusions, answer_counts, rng):
+        k = len(worker_types)
+        cohorts = np.resize(np.arange(self.generations, dtype=np.int64), k)
+        rng.shuffle(cohorts)
+        self._generation = cohorts
+        return np.arange(k, dtype=np.int64)  # arrival order governs everyone
+
+    def reorder(self, obj_idx: np.ndarray, wrk_idx: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+        """Stable sort of the arrival order by worker generation.
+
+        Stability preserves the shuffled within-generation order, so churn
+        composes with (rather than overrides) the base arrival shuffle.
+        """
+        return np.argsort(self._generation[wrk_idx], kind="stable")
+
+    def draw(self, worker, obj, ordinal, gold_label, base_confusion,
+             difficulty, rng):
+        return None  # churn shifts arrival order only, never labels
+
+    @property
+    def generation_of(self) -> np.ndarray:
+        """Cohort index per worker, as resolved by the last attach."""
+        if self._generation is None:
+            raise DatasetError("WorkerChurn.attach has not run yet")
+        return self._generation.copy()
+
+
+@dataclass
+class ResubmitDuplicates(WorkerBehavior):
+    """Workers whose submissions are re-sent — sometimes with a new label.
+
+    Models flaky clients and second thoughts: after an affected worker's
+    answer event, with probability ``resubmit_probability`` the compiler
+    emits a *second* answer event for the same ``(object, worker)`` cell,
+    timed strictly between the original and the next arrival. With
+    probability ``conflict_probability`` the resubmission carries a
+    different label (a conflict); otherwise it is an exact duplicate.
+
+    The batch matrix keeps only the first submission — resubmissions exist
+    purely in the stream view — which pins the library's conflict policy
+    to **first-write-wins**: a session replaying the stream under
+    ``on_conflict="ignore"`` drops every conflicting resubmission (and
+    counts it), ending bit-for-bit equal to the batch matrix; under the
+    default ``on_conflict="error"`` the first conflict raises. Last-write-
+    wins is deliberately *not* offered: the sufficient statistics are an
+    append-only log, and silently rewriting history would break the
+    batch↔streaming conformance contract.
+
+    Implemented through the optional ``resubmit`` compiler hook.
+    """
+
+    fraction: float = 0.3
+    resubmit_probability: float = 0.25
+    conflict_probability: float = 0.5
+    eligible: tuple[WorkerType, ...] = (
+        WorkerType.NORMAL, WorkerType.RELIABLE, WorkerType.SLOPPY,
+        WorkerType.UNIFORM_SPAMMER, WorkerType.RANDOM_SPAMMER)
+    name: str = field(default="resubmit_duplicates", init=False)
+    marks_faulty: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fraction, "fraction")
+        check_fraction(self.resubmit_probability, "resubmit_probability")
+        check_fraction(self.conflict_probability, "conflict_probability")
+
+    def attach(self, worker_types, confusions, answer_counts, rng):
+        return _select_fraction(
+            _eligible_workers(worker_types, self.eligible),
+            self.fraction, rng)
+
+    def draw(self, worker, obj, ordinal, gold_label, base_confusion,
+             difficulty, rng):
+        return None  # original labels are untouched
+
+    def resubmit(self, worker: int, obj: int, ordinal: int, label: int,
+                 n_labels: int, rng: np.random.Generator) -> int | None:
+        """The resubmitted label for one answer, or ``None`` for none."""
+        if rng.random() >= self.resubmit_probability:
+            return None
+        if n_labels > 1 and rng.random() < self.conflict_probability:
+            return int((label + 1 + rng.integers(n_labels - 1)) % n_labels)
+        return int(label)
+
+
 # ----------------------------------------------------------------------
 # Arrival schedules
 # ----------------------------------------------------------------------
@@ -346,6 +458,8 @@ BEHAVIOR_TYPES = {
     "reliability_drift": ReliabilityDrift,
     "sleeper_spammer": SleeperSpammer,
     "collusion_clique": CollusionClique,
+    "worker_churn": WorkerChurn,
+    "resubmit_duplicates": ResubmitDuplicates,
 }
 
 #: Schedules exposed to declarative registry specs, by name.

@@ -84,7 +84,9 @@ class CompiledScenario:
     expert_labels:
         The expert's (possibly fallible) label sheet for every object.
     answer_events, validation_events:
-        The stream view; answer events cover exactly the batch matrix.
+        The stream view; answer events cover exactly the batch matrix,
+        except that resubmission behaviors may append extra stream-only
+        duplicate/conflict events (first write wins in the batch view).
     """
 
     spec: ScenarioSpec
@@ -231,6 +233,16 @@ def compile_scenario(spec: ScenarioSpec,
         if behavior.marks_faulty and len(workers):
             extra_faulty[np.asarray(workers, dtype=int)] = True
 
+    # Optional reorder hook (worker churn): behaviors may permute the
+    # arrival order after everyone has attached. Times stay put — they
+    # are positions on the arrival clock, not properties of a cell — so
+    # reordering decides *which* cell fills each arrival slot.
+    for behavior, rng in zip(behaviors, behavior_rngs):
+        reorder = getattr(behavior, "reorder", None)
+        if reorder is not None:
+            resorted = np.asarray(reorder(obj_idx, wrk_idx, rng))
+            obj_idx, wrk_idx = obj_idx[resorted], wrk_idx[resorted]
+
     # Label draws, one per answer cell, in arrival order. Ordinals count
     # each worker's answers as they arrive, so behaviors keyed on "the
     # worker's a-th answer" mean the same thing in both views.
@@ -254,9 +266,26 @@ def compile_scenario(spec: ScenarioSpec,
                 conf = apply_difficulty(conf, float(difficulty[i]))
             label = int(label_rng.choice(m, p=conf[gold[i]]))
         matrix[i, j] = label
+        event_time = float(times[position])
         answer_events.append(AnswerEvent(
-            time=float(times[position]), object_index=i, worker_index=j,
-            label=label))
+            time=event_time, object_index=i, worker_index=j, label=label))
+        # Optional resubmit hook (duplicate/conflicting resubmissions):
+        # a governed behavior may re-send this answer — stream-view only,
+        # timed strictly between this arrival and the next, so the batch
+        # matrix keeps the first write (the pinned conflict policy).
+        for behavior, rng in governed.get(j, ()):
+            resubmit = getattr(behavior, "resubmit", None)
+            if resubmit is None:
+                continue
+            duplicate = resubmit(j, i, ordinal, label, m, rng)
+            if duplicate is not None:
+                next_time = (float(times[position + 1])
+                             if position + 1 < times.size
+                             else event_time + 1.0)
+                answer_events.append(AnswerEvent(
+                    time=event_time + 0.5 * (next_time - event_time),
+                    object_index=i, worker_index=j, label=int(duplicate)))
+            break
 
     # Expert label sheet: gold, with compile-time slips.
     expert_rng = streams["expert"]

@@ -16,6 +16,10 @@ Builtin coverage:
 ``label-skew``                85/15 gold skew + hard questions
 ``fallible-expert``           the §6.7 slipping expert, deterministic
 ``difficulty-strata``         easy/medium/hard object strata
+``worker-churn``              generational worker cohorts (grow
+                              cold-start under churn)
+``duplicate-resubmissions``   duplicate/conflicting re-sent answers
+                              (first-write-wins conflict policy)
 ============================  ==========================================
 """
 
@@ -29,7 +33,9 @@ from repro.scenarios.behaviors import (
     CollusionClique,
     PoissonSchedule,
     ReliabilityDrift,
+    ResubmitDuplicates,
     SleeperSpammer,
+    WorkerChurn,
 )
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.spec import ExpertSpec, ScenarioSpec
@@ -173,4 +179,36 @@ register_scenario(ScenarioSpec(
     difficulty_strata=((0.4, 0.05), (0.4, 0.35), (0.2, 0.7)),
     expert=ExpertSpec(n_validations=16),
     seed=1107,
+))
+
+register_scenario(ScenarioSpec(
+    name="worker-churn",
+    description="The worker pool turns over in three generational cohorts: "
+                "each generation's answers arrive only after the previous "
+                "generation finishes, so a streaming session keeps meeting "
+                "brand-new workers mid-campaign and must cold-start their "
+                "statistics (grow-path stress; labels are untouched).",
+    n_objects=36, n_workers=15, reliability=0.75,
+    population=_HONEST_LEANING,
+    answers_per_object=8,
+    behaviors=(WorkerChurn(generations=3),),
+    expert=ExpertSpec(n_validations=14),
+    seed=1108,
+))
+
+register_scenario(ScenarioSpec(
+    name="duplicate-resubmissions",
+    description="A third of the workers re-send answers (flaky clients, "
+                "second thoughts): half the resubmissions are exact "
+                "duplicates, half carry a conflicting label. The batch "
+                "view keeps the first write — replaying the stream under "
+                "on_conflict='ignore' must drop every conflict and match "
+                "it bit-for-bit (the pinned first-write-wins policy).",
+    n_objects=36, n_workers=14, reliability=0.75,
+    population=_HONEST_LEANING,
+    answers_per_object=8,
+    behaviors=(ResubmitDuplicates(fraction=0.35, resubmit_probability=0.25,
+                                  conflict_probability=0.5),),
+    expert=ExpertSpec(n_validations=14),
+    seed=1109,
 ))

@@ -1,6 +1,6 @@
 """The differential end-to-end conformance harness.
 
-A :class:`ScenarioRunner` drives one compiled scenario through the three
+A :class:`ScenarioRunner` drives one compiled scenario through the four
 execution paths the system ships:
 
 1. **batch** — a full :class:`~repro.process.validation_process
@@ -10,13 +10,21 @@ execution paths the system ships:
    replaying the *recorded* batch decisions (validations + worker
    maskings) event by event through exact warm-started ``conclude``s;
 3. **sharded** — the same replay refined through
-   :class:`~repro.streaming.ShardedRefresher` partition-scoped refreshes.
+   :class:`~repro.streaming.ShardedRefresher` partition-scoped refreshes;
+4. **crash/resume** — the streaming replay again, but checkpointed into a
+   :class:`~repro.state.SessionStore` on a fixed cadence with process
+   kills injected at random step boundaries; each kill discards the live
+   session and resumes from ``store.restore()`` (latest checkpoint +
+   write-ahead-log tail).
 
 and then checks that they agree:
 
 * batch vs streaming must match to ``exact_atol`` (the streaming exact
   path is bit-for-bit the batch kernel, so the observed divergence is
   0.0 — any widening is a regression in the view-maintenance contract);
+* crash/resume vs the uninterrupted streaming run must also match to
+  ``exact_atol`` — restore is bit-for-bit, so surviving a kill changes
+  *no float* of the final posterior;
 * sharded vs batch is the independent-blocks approximation, held to the
   documented ``sharded_atol`` posterior divergence **or**
   ``sharded_map_agreement`` MAP-label agreement (single-block refreshers
@@ -46,6 +54,8 @@ from repro.guidance.information_gain import (
 from repro.process.report import ValidationReport
 from repro.process.validation_process import ValidationProcess
 from repro.scenarios.compiler import CompiledScenario
+from repro.state import MemorySessionStore
+from repro.state import store as state_events
 from repro.streaming.session import ValidationSession
 from repro.streaming.sharded import ShardedRefresher
 from repro.utils.rng import spawn_rngs
@@ -93,6 +103,9 @@ class ScenarioOutcome:
     streaming_divergence, sharded_divergence:
         Cross-path posterior agreement (streaming vs batch, sharded vs
         batch).
+    resume_divergence:
+        Crash/resume replay vs the uninterrupted streaming replay; the
+        restore contract makes this exactly zero.
     detection_precision, detection_recall:
         Spammer detection against the scenario's ``true_spammer_mask``
         after the run's final validation state.
@@ -107,6 +120,7 @@ class ScenarioOutcome:
     report: ValidationReport
     streaming_divergence: PathDivergence
     sharded_divergence: PathDivergence
+    resume_divergence: PathDivergence
     detection_precision: float
     detection_recall: float
     n_detected: int
@@ -127,6 +141,8 @@ class ScenarioOutcome:
                 self.sharded_divergence.max_abs_posterior_gap),
             "sharded_map_agreement": float(
                 self.sharded_divergence.map_agreement),
+            "resume_linf": float(
+                self.resume_divergence.max_abs_posterior_gap),
             "detection_precision": float(self.detection_precision),
             "detection_recall": float(self.detection_recall),
             "elapsed_seconds": float(self.elapsed_seconds),
@@ -169,9 +185,16 @@ class ScenarioRunner:
     handle_faulty:
         Whether the batch path masks detected spammers (Algorithm 1's
         worker handling); replays mirror whatever the batch path did.
+    n_kills, checkpoint_every:
+        Crash/resume path knobs: how many kills are injected (at step
+        boundaries drawn from a dedicated seed stream; capped at the
+        number of boundaries available) and the checkpoint cadence in
+        steps. ``n_kills=0`` degrades path 4 to a store-logged but
+        uninterrupted replay.
     seed:
-        Tie-break randomness for the guidance roulette (scenario content
-        is fixed by the compiled scenario, not by this).
+        Tie-break randomness for the guidance roulette and the kill-point
+        draws (scenario content is fixed by the compiled scenario, not by
+        this).
     """
 
     def __init__(self,
@@ -183,7 +206,14 @@ class ScenarioRunner:
                  sharded_map_agreement: float = 0.85,
                  max_objects_per_block: int | None = None,
                  handle_faulty: bool = True,
+                 n_kills: int = 2,
+                 checkpoint_every: int = 3,
                  seed: int = 0) -> None:
+        if n_kills < 0:
+            raise ValueError(f"n_kills must be >= 0, got {n_kills}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self.strategy_factory = strategy_factory
         self.candidate_limit = int(candidate_limit)
         self.exact_atol = float(exact_atol)
@@ -191,6 +221,8 @@ class ScenarioRunner:
         self.sharded_map_agreement = float(sharded_map_agreement)
         self.max_objects_per_block = max_objects_per_block
         self.handle_faulty = bool(handle_faulty)
+        self.n_kills = int(n_kills)
+        self.checkpoint_every = int(checkpoint_every)
         self.seed = int(seed)
 
     # ------------------------------------------------------------------
@@ -256,6 +288,65 @@ class ScenarioRunner:
             refresher.refresh(session)
         return np.array(session.model.assignment)
 
+    def replay_crash_resume(self, scenario: CompiledScenario,
+                            steps: list[RecordedStep],
+                            template: ValidationSession,
+                            store=None) -> np.ndarray:
+        """Path 4: the streaming replay, killed and resumed mid-run.
+
+        Every step's mutations are write-ahead logged into ``store``
+        (default: a fresh :class:`~repro.state.MemorySessionStore`; pass a
+        :class:`~repro.state.FileSessionStore` to exercise the on-disk
+        format) and a full checkpoint is taken every
+        ``checkpoint_every`` steps. ``n_kills`` step boundaries are drawn
+        from a dedicated seed stream; at each, the live session is
+        *discarded* and rebuilt via ``store.restore()`` — latest
+        checkpoint plus WAL-tail replay — then the replay continues from
+        the step after the last logged step marker. Because restore is
+        bit-for-bit and the WAL replays the same warm-started conclude
+        chain, the final posterior must equal the uninterrupted streaming
+        replay's exactly (L∞ = 0.0).
+        """
+        if store is None:
+            store = MemorySessionStore()
+        rng = spawn_rngs(np.random.SeedSequence((self.seed, 0xDEAD)), 1)[0]
+        n_steps = len(steps)
+        kill_before: set[int] = set()
+        if n_steps > 1 and self.n_kills > 0:
+            boundaries = np.arange(1, n_steps)
+            chosen = rng.choice(boundaries,
+                                size=min(self.n_kills, boundaries.size),
+                                replace=False)
+            kill_before = {int(b) for b in chosen}
+
+        session = self._fresh_session(scenario, template)
+        store.append(state_events.conclude_event())
+        session.conclude()
+        store.checkpoint(session, meta={"step": -1})
+        index = 0
+        while index < n_steps:
+            if index in kill_before:
+                kill_before.discard(index)  # each kill fires exactly once
+                del session  # the "crash": all live state is gone
+                restored = store.restore()
+                session = restored.session
+                index = 0 if restored.step is None else restored.step + 1
+                continue
+            step = steps[index]
+            store.append(state_events.validation_event(
+                step.object_index, step.expert_label, overwrite=True))
+            session.add_validation(step.object_index, step.expert_label,
+                                   overwrite=True)
+            store.append(state_events.mask_event(step.masked_workers))
+            session.set_masked_workers(step.masked_workers)
+            store.append(state_events.conclude_event())
+            session.conclude()
+            store.append(state_events.step_event(index))
+            if (index + 1) % self.checkpoint_every == 0:
+                store.checkpoint(session, meta={"step": index})
+            index += 1
+        return np.array(session.model.assignment)
+
     @staticmethod
     def _fresh_session(scenario: CompiledScenario,
                        template: ValidationSession) -> ValidationSession:
@@ -266,6 +357,7 @@ class ScenarioRunner:
             max_iter=template.max_iter,
             tol=template.tol,
             smoothing=template.smoothing,
+            use_plan=template.use_plan,
         )
 
     # ------------------------------------------------------------------
@@ -283,8 +375,10 @@ class ScenarioRunner:
 
         streaming = self.replay_streaming(scenario, steps, process.session)
         sharded = self.replay_sharded(scenario, steps, process.session)
+        resumed = self.replay_crash_resume(scenario, steps, process.session)
         streaming_divergence = _divergence(batch_posteriors, streaming)
         sharded_divergence = _divergence(batch_posteriors, sharded)
+        resume_divergence = _divergence(streaming, resumed)
 
         detection = SpammerDetector().detect(
             scenario.answer_set, process.validation,
@@ -298,6 +392,7 @@ class ScenarioRunner:
             report=process.report(),
             streaming_divergence=streaming_divergence,
             sharded_divergence=sharded_divergence,
+            resume_divergence=resume_divergence,
             detection_precision=precision,
             detection_recall=recall,
             n_detected=int(np.count_nonzero(detection.spammer_mask)),
@@ -319,6 +414,14 @@ class ScenarioRunner:
                 f"batch vs streaming posteriors diverge by {stream_gap:.3e} "
                 f"(> {self.exact_atol:.1e}) — the exact streaming path must "
                 f"be bit-for-bit with the batch kernel")
+        resume_gap = outcome.resume_divergence.max_abs_posterior_gap
+        if resume_gap > self.exact_atol:
+            raise ConformanceError(
+                f"scenario {outcome.scenario!r} ({outcome.lookahead}): "
+                f"crash/resume replay diverges from the uninterrupted "
+                f"streaming run by {resume_gap:.3e} "
+                f"(> {self.exact_atol:.1e}) — checkpoint restore must be "
+                f"bit-for-bit")
         sharded = outcome.sharded_divergence
         if (sharded.max_abs_posterior_gap > self.sharded_atol
                 and sharded.map_agreement < self.sharded_map_agreement):

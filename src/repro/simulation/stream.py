@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.answer_set import MISSING
 from repro.simulation.crowd import SimulatedCrowd
+from repro.state import store as state_events
 from repro.utils.rng import ensure_rng, spawn_rngs
 
 #: Supported replay orders for :func:`answer_stream`.
@@ -160,7 +161,10 @@ def replay(events: Iterable,
            *,
            conclude_every: int | None = None,
            conclude_every_seconds: float | None = None,
-           refresher=None) -> ReplaySummary:
+           refresher=None,
+           on_conflict: str | None = None,
+           store=None,
+           checkpoint_every_seconds: float | None = None) -> ReplaySummary:
     """Drive a :class:`~repro.streaming.ValidationSession` with an event stream.
 
     Parameters
@@ -184,6 +188,22 @@ def replay(events: Iterable,
         Optional :class:`repro.streaming.ShardedRefresher`; when given,
         refinements go through partition-scoped refresh instead of the
         exact full conclude.
+    on_conflict:
+        Conflict policy forwarded to every ingested answer (``None`` uses
+        the session's own policy). Pass ``"ignore"`` when the stream may
+        carry duplicate/conflicting resubmissions (the
+        ``duplicate-resubmissions`` scenario): resubmitted conflicts are
+        dropped first-write-wins and counted on the session.
+    store:
+        Optional :class:`repro.state.SessionStore`. Every ingested event
+        — and, on the exact (non-sharded) path, every refinement — is
+        appended to the store's write-ahead log *before* it is applied,
+        so ``store.restore()`` after a crash rebuilds the session
+        bit-for-bit at the last logged event.
+    checkpoint_every_seconds:
+        Full-checkpoint cadence on the event clock (same crossing
+        semantics as ``conclude_every_seconds``); requires ``store``. A
+        final checkpoint is always taken after the stream drains.
     """
     if conclude_every is not None and conclude_every < 1:
         raise ValueError("conclude_every must be >= 1 or None, "
@@ -191,25 +211,45 @@ def replay(events: Iterable,
     if conclude_every_seconds is not None and conclude_every_seconds <= 0:
         raise ValueError("conclude_every_seconds must be > 0 or None, "
                          f"got {conclude_every_seconds}")
+    if checkpoint_every_seconds is not None:
+        if checkpoint_every_seconds <= 0:
+            raise ValueError("checkpoint_every_seconds must be > 0 or "
+                             f"None, got {checkpoint_every_seconds}")
+        if store is None:
+            raise ValueError("checkpoint_every_seconds requires a store")
     concludes_before = session.n_concludes
     iterations_before = session.total_em_iterations
     n_answers = n_validations = 0
     duration = 0.0
     next_refine_time = conclude_every_seconds \
         if conclude_every_seconds is not None else None
+    next_checkpoint_time = checkpoint_every_seconds \
+        if checkpoint_every_seconds is not None else None
 
     def refine() -> None:
         if refresher is not None:
             refresher.refresh(session)
         else:
+            # Sharded refreshes are approximations re-derived on restore;
+            # only the exact conclude chain is WAL-replayable.
+            if store is not None:
+                store.append(state_events.conclude_event())
             session.conclude()
 
     for event in events:
         if isinstance(event, AnswerEvent):
+            if store is not None:
+                store.append(state_events.answer_event(
+                    event.object_index, event.worker_index, event.label,
+                    grow=True, on_conflict=on_conflict))
             session.add_answer(event.object_index, event.worker_index,
-                               event.label, grow=True)
+                               event.label, grow=True,
+                               on_conflict=on_conflict)
             n_answers += 1
         elif isinstance(event, ValidationEvent):
+            if store is not None:
+                store.append(state_events.validation_event(
+                    event.object_index, event.label, overwrite=True))
             if event.object_index >= session.n_objects:
                 session.grow(n_objects=event.object_index + 1)
             session.add_validation(event.object_index, event.label,
@@ -226,7 +266,14 @@ def replay(events: Iterable,
             # Skip empty intervals wholesale: refine once per crossing.
             intervals = int(event.time // conclude_every_seconds) + 1
             next_refine_time = intervals * conclude_every_seconds
+        if next_checkpoint_time is not None \
+                and event.time >= next_checkpoint_time:
+            store.checkpoint(session, meta={"time": float(event.time)})
+            intervals = int(event.time // checkpoint_every_seconds) + 1
+            next_checkpoint_time = intervals * checkpoint_every_seconds
     refine()
+    if store is not None:
+        store.checkpoint(session, meta={"final": True})
     return ReplaySummary(
         n_answers=n_answers,
         n_validations=n_validations,

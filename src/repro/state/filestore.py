@@ -1,0 +1,440 @@
+"""File-backed session store: npz segments + JSON manifest + JSONL WAL.
+
+On-disk layout under the store root::
+
+    root/
+      wal.jsonl                 # one JSON record per line, append-only
+      ckpt-000000/
+        manifest.json           # schema version, dims, config, RNG state
+        global.npz              # model arrays + conclude-epoch bookkeeping
+        segment-000.npz         # answer-log slice (+ validations, dirty)
+        segment-001.npz         # ... one per partition block when sharded
+      ckpt-000001/
+        ...
+
+Crash safety comes from write ordering: a checkpoint directory's segments
+and ``global.npz`` are written first and the manifest last, atomically
+(temp file + ``os.replace``). A crash mid-checkpoint therefore leaves a
+directory without a manifest — recognized as incomplete and skipped when
+selecting the latest checkpoint — never a manifest describing missing
+data. A manifest that exists but cannot be parsed, a missing segment, or
+segment contents that disagree with the manifest are *corruption* and
+raise typed :mod:`repro.errors` exceptions rather than loading garbage.
+
+The WAL tolerates exactly one torn record: a truncated **final** line
+(the record being appended when the process died) is dropped on read; a
+malformed line anywhere earlier raises
+:class:`~repro.errors.CheckpointCorruptionError`.
+
+Per-shard checkpoints: pass a :class:`repro.partitioning.Partition` to
+:meth:`FileSessionStore.checkpoint` (or use
+:meth:`repro.streaming.ShardedRefresher.checkpoint`) and the answer log,
+validations, and dirty set are split into one segment per block, keyed by
+the original log positions. Restore concatenates the segments and sorts by
+position, recovering the exact insertion order regardless of how many
+shards wrote it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.answer_set import MISSING
+from repro.errors import (CheckpointCorruptionError,
+                          CheckpointDimensionError,
+                          CheckpointNotFoundError, CheckpointSchemaError)
+from repro.state.snapshot import STATE_SCHEMA_VERSION, SessionState
+from repro.state.store import CheckpointInfo, SessionStore
+
+_CKPT_PREFIX = "ckpt-"
+_MANIFEST = "manifest.json"
+_GLOBAL = "global.npz"
+_WAL = "wal.jsonl"
+
+
+class FileSessionStore(SessionStore):
+    """Durable :class:`~repro.state.store.SessionStore` rooted at a directory.
+
+    Examples
+    --------
+    >>> store = FileSessionStore(tmp_path)          # doctest: +SKIP
+    >>> store.checkpoint(session)                   # doctest: +SKIP
+    >>> restored = store.restore()                  # doctest: +SKIP
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._wal_path = self.root / _WAL
+        self._wal_count = len(self._read_wal())
+
+    # ------------------------------------------------------------------
+    # WAL
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> int:
+        line = json.dumps(record, separators=(",", ":"))
+        with open(self._wal_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self._wal_count += 1
+        return self._wal_count
+
+    @property
+    def wal_position(self) -> int:
+        return self._wal_count
+
+    def wal_records(self, start: int = 0) -> list[dict]:
+        return self._read_wal()[start:]
+
+    def _read_wal(self) -> list[dict]:
+        if not self._wal_path.exists():
+            return []
+        content = self._wal_path.read_text(encoding="utf-8")
+        chunks = content.split("\n")
+        # A file ending in a newline splits into [..., ""]; anything after
+        # the final newline is a record torn mid-append — drop it.
+        if chunks and chunks[-1] == "":
+            chunks = chunks[:-1]
+            torn_tail = None
+        elif chunks:
+            torn_tail = chunks.pop()
+        else:
+            torn_tail = None
+        records = []
+        for index, chunk in enumerate(chunks):
+            try:
+                records.append(json.loads(chunk))
+            except json.JSONDecodeError as exc:
+                if index == len(chunks) - 1 and torn_tail is None:
+                    break  # torn final record that did get its newline out
+                raise CheckpointCorruptionError(
+                    f"WAL record {index} in {self._wal_path} is not valid "
+                    f"JSON: {exc}") from exc
+        return records
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self, session, *, meta: dict | None = None,
+                   partition=None) -> CheckpointInfo:
+        state = session.capture_state()
+        checkpoint_id = self._next_checkpoint_id()
+        directory = self.root / f"{_CKPT_PREFIX}{checkpoint_id:06d}"
+        directory.mkdir(parents=True, exist_ok=False)
+
+        segments = self._write_segments(directory, state, partition)
+        global_arrays = {}
+        if state.concluded_validated is not None:
+            global_arrays["concluded_validated"] = state.concluded_validated
+        if state.assignment is not None:
+            global_arrays["assignment"] = state.assignment
+            global_arrays["confusions"] = state.confusions
+            global_arrays["priors"] = state.priors
+        np.savez(directory / _GLOBAL, **global_arrays)
+
+        info = CheckpointInfo(
+            checkpoint_id=checkpoint_id,
+            wal_position=self._wal_count,
+            n_answers=state.n_answers,
+            n_validated=int((state.validated != MISSING).sum()),
+            meta=dict(meta or {}))
+        manifest = {
+            "schema_version": state.schema_version,
+            "checkpoint_id": checkpoint_id,
+            "wal_position": info.wal_position,
+            "dims": {"n_objects": state.n_objects,
+                     "n_workers": state.n_workers,
+                     "n_labels": state.n_labels},
+            "config": {"init": state.init, "max_iter": state.max_iter,
+                       "tol": state.tol, "smoothing": state.smoothing,
+                       "use_plan": state.use_plan,
+                       "on_conflict": state.on_conflict},
+            "vocab": {
+                "labels": None if state.labels is None
+                else list(state.labels),
+                "objects": None if state.objects is None
+                else list(state.objects),
+                "workers": None if state.workers is None
+                else list(state.workers)},
+            "rng_state": state.rng_state,
+            "masked_workers": list(state.masked_workers),
+            "n_answers": state.n_answers,
+            "n_validated": info.n_validated,
+            "has_model": state.has_model,
+            "model": {"n_iterations": state.model_n_iterations,
+                      "converged": state.model_converged,
+                      "dims": None if state.model_dims is None
+                      else list(state.model_dims)},
+            "has_concluded_validated":
+                state.concluded_validated is not None,
+            "counters": {"n_concludes": state.n_concludes,
+                         "total_em_iterations": state.total_em_iterations,
+                         "n_conflicts": state.n_conflicts},
+            "segments": segments,
+            "meta": info.meta,
+        }
+        # Manifest last, atomically: its presence is the commit point.
+        tmp = directory / (_MANIFEST + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+        os.replace(tmp, directory / _MANIFEST)
+        return info
+
+    def _write_segments(self, directory: Path, state: SessionState,
+                        partition) -> list[dict]:
+        validated_objects = np.flatnonzero(state.validated != MISSING)
+        validated_labels = state.validated[validated_objects]
+        dirty = np.asarray(state.dirty, dtype=np.int64)
+        if partition is None:
+            groups = [np.ones(state.n_answers, dtype=bool)]
+            object_sets = [None]
+        else:
+            groups, object_sets = [], []
+            for block in partition.blocks:
+                members = np.zeros(state.n_objects, dtype=bool)
+                members[np.asarray(block.object_indices, dtype=np.int64)] \
+                    = True
+                groups.append(members[state.log_objects])
+                object_sets.append(members)
+        segments = []
+        for index, keep in enumerate(groups):
+            members = object_sets[index]
+            if members is None:
+                seg_validated = validated_objects
+                seg_labels = validated_labels
+                seg_dirty = dirty
+            else:
+                v_keep = members[validated_objects]
+                seg_validated = validated_objects[v_keep]
+                seg_labels = validated_labels[v_keep]
+                seg_dirty = dirty[members[dirty]] if dirty.size else dirty
+            name = f"segment-{index:03d}.npz"
+            np.savez(directory / name,
+                     positions=np.flatnonzero(keep),
+                     objects=state.log_objects[keep],
+                     workers=state.log_workers[keep],
+                     labels=state.log_labels[keep],
+                     validated_objects=seg_validated,
+                     validated_labels=seg_labels,
+                     dirty=seg_dirty)
+            segments.append({"file": name,
+                             "n_entries": int(np.count_nonzero(keep))})
+        return segments
+
+    def checkpoints(self) -> list[CheckpointInfo]:
+        infos = []
+        for checkpoint_id, directory in self._checkpoint_dirs():
+            manifest_path = directory / _MANIFEST
+            if not manifest_path.exists():
+                continue  # incomplete (crashed mid-write): not committed
+            manifest = self._load_manifest(manifest_path)
+            infos.append(CheckpointInfo(
+                checkpoint_id=checkpoint_id,
+                wal_position=int(manifest.get("wal_position", 0)),
+                n_answers=int(manifest.get("n_answers", 0)),
+                n_validated=int(manifest.get("n_validated", 0)),
+                meta=dict(manifest.get("meta", {}))))
+        return infos
+
+    def load_state(self, checkpoint_id: int | None = None) -> SessionState:
+        directory = self._resolve_checkpoint_dir(checkpoint_id)
+        manifest = self._load_manifest(directory / _MANIFEST)
+        if manifest.get("schema_version") != STATE_SCHEMA_VERSION:
+            raise CheckpointSchemaError(
+                f"checkpoint {directory.name} has schema version "
+                f"{manifest.get('schema_version')!r}; this build reads "
+                f"version {STATE_SCHEMA_VERSION}")
+        return self._assemble(directory, manifest)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, directory: Path, manifest: dict) -> SessionState:
+        try:
+            dims = manifest["dims"]
+            n_objects = int(dims["n_objects"])
+            n_workers = int(dims["n_workers"])
+            n_labels = int(dims["n_labels"])
+            config = manifest["config"]
+            vocab = manifest["vocab"]
+            n_answers = int(manifest["n_answers"])
+            segment_entries = manifest["segments"]
+        except (KeyError, TypeError) as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint {directory.name} manifest is missing required "
+                f"fields: {exc}") from exc
+
+        positions, objs, wrks, labs = [], [], [], []
+        validated = np.full(n_objects, MISSING, dtype=np.int64)
+        dirty: set[int] = set()
+        for entry in segment_entries:
+            path = directory / entry["file"]
+            if not path.exists():
+                raise CheckpointCorruptionError(
+                    f"checkpoint {directory.name} manifest lists segment "
+                    f"{entry['file']} but the file is missing")
+            try:
+                with np.load(path, allow_pickle=False) as seg:
+                    seg_positions = seg["positions"]
+                    if seg_positions.size != int(entry["n_entries"]):
+                        raise CheckpointCorruptionError(
+                            f"segment {entry['file']} holds "
+                            f"{seg_positions.size} entries; manifest "
+                            f"expects {entry['n_entries']}")
+                    positions.append(seg_positions)
+                    objs.append(seg["objects"])
+                    wrks.append(seg["workers"])
+                    labs.append(seg["labels"])
+                    v_obj = seg["validated_objects"]
+                    v_lab = seg["validated_labels"]
+                    if v_obj.size and (v_obj.min() < 0
+                                       or v_obj.max() >= n_objects):
+                        raise CheckpointDimensionError(
+                            f"segment {entry['file']} validates objects "
+                            f"outside [0, {n_objects})")
+                    validated[v_obj] = v_lab
+                    dirty.update(seg["dirty"].tolist())
+            except (OSError, ValueError, KeyError) as exc:
+                raise CheckpointCorruptionError(
+                    f"segment {entry['file']} of checkpoint "
+                    f"{directory.name} is unreadable: {exc}") from exc
+
+        position = np.concatenate(positions) if positions \
+            else np.empty(0, dtype=np.int64)
+        log_objects = np.concatenate(objs) if objs \
+            else np.empty(0, dtype=np.int64)
+        log_workers = np.concatenate(wrks) if wrks \
+            else np.empty(0, dtype=np.int64)
+        log_labels = np.concatenate(labs) if labs \
+            else np.empty(0, dtype=np.int64)
+        if position.size != n_answers:
+            raise CheckpointCorruptionError(
+                f"checkpoint {directory.name} segments hold "
+                f"{position.size} answers; manifest expects {n_answers}")
+        order = np.argsort(position, kind="stable")
+        if position.size and not np.array_equal(
+                position[order], np.arange(n_answers)):
+            raise CheckpointCorruptionError(
+                f"checkpoint {directory.name} segment positions do not "
+                f"reassemble into a contiguous answer log")
+        log_objects = np.ascontiguousarray(log_objects[order])
+        log_workers = np.ascontiguousarray(log_workers[order])
+        log_labels = np.ascontiguousarray(log_labels[order])
+        if log_objects.size and (
+                log_objects.min() < 0 or log_objects.max() >= n_objects
+                or log_workers.min() < 0 or log_workers.max() >= n_workers
+                or log_labels.min() < 0 or log_labels.max() >= n_labels):
+            raise CheckpointDimensionError(
+                f"checkpoint {directory.name} answer log exceeds declared "
+                f"dimensions ({n_objects} × {n_workers}, {n_labels} labels)")
+        masked = manifest.get("masked_workers", [])
+        if any(not 0 <= int(w) < n_workers for w in masked):
+            raise CheckpointDimensionError(
+                f"checkpoint {directory.name} masks workers outside "
+                f"[0, {n_workers})")
+
+        concluded_validated = None
+        assignment = confusions = priors = None
+        model_meta = manifest.get("model", {})
+        model_dims = model_meta.get("dims")
+        try:
+            with np.load(directory / _GLOBAL, allow_pickle=False) as blob:
+                if manifest.get("has_concluded_validated"):
+                    concluded_validated = blob["concluded_validated"].copy()
+                if manifest.get("has_model"):
+                    assignment = blob["assignment"].copy()
+                    confusions = blob["confusions"].copy()
+                    priors = blob["priors"].copy()
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint {directory.name} global arrays are "
+                f"unreadable: {exc}") from exc
+        if assignment is not None:
+            expected_n = n_objects if model_dims is None \
+                else int(model_dims[0])
+            expected_k = n_workers if model_dims is None \
+                else int(model_dims[1])
+            if assignment.shape != (expected_n, n_labels) \
+                    or confusions.shape != (expected_k, n_labels, n_labels) \
+                    or priors.shape != (n_labels,):
+                raise CheckpointDimensionError(
+                    f"checkpoint {directory.name} model shapes "
+                    f"{assignment.shape}/{confusions.shape}/{priors.shape} "
+                    f"do not match declared dimensions")
+
+        counters = manifest.get("counters", {})
+        return SessionState(
+            n_objects=n_objects, n_workers=n_workers, n_labels=n_labels,
+            init=str(config["init"]), max_iter=int(config["max_iter"]),
+            tol=float(config["tol"]),
+            smoothing=float(config["smoothing"]),
+            use_plan=bool(config.get("use_plan", True)),
+            on_conflict=str(config.get("on_conflict", "error")),
+            labels=None if vocab.get("labels") is None
+            else tuple(vocab["labels"]),
+            objects=None if vocab.get("objects") is None
+            else tuple(vocab["objects"]),
+            workers=None if vocab.get("workers") is None
+            else tuple(vocab["workers"]),
+            rng_state=manifest["rng_state"],
+            log_objects=log_objects, log_workers=log_workers,
+            log_labels=log_labels,
+            masked_workers=tuple(int(w) for w in masked),
+            validated=validated,
+            dirty=tuple(sorted(dirty)),
+            concluded_validated=concluded_validated,
+            assignment=assignment, confusions=confusions, priors=priors,
+            model_n_iterations=int(model_meta.get("n_iterations", 0)),
+            model_converged=bool(model_meta.get("converged", False)),
+            model_dims=None if model_dims is None
+            else (int(model_dims[0]), int(model_dims[1])),
+            n_concludes=int(counters.get("n_concludes", 0)),
+            total_em_iterations=int(
+                counters.get("total_em_iterations", 0)),
+            n_conflicts=int(counters.get("n_conflicts", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    def _checkpoint_dirs(self) -> list[tuple[int, Path]]:
+        found = []
+        for child in self.root.iterdir():
+            if child.is_dir() and child.name.startswith(_CKPT_PREFIX):
+                suffix = child.name[len(_CKPT_PREFIX):]
+                if suffix.isdigit():
+                    found.append((int(suffix), child))
+        return sorted(found)
+
+    def _next_checkpoint_id(self) -> int:
+        dirs = self._checkpoint_dirs()
+        return dirs[-1][0] + 1 if dirs else 0
+
+    def _resolve_checkpoint_dir(self,
+                                checkpoint_id: int | None) -> Path:
+        dirs = self._checkpoint_dirs()
+        if checkpoint_id is not None:
+            for found_id, directory in dirs:
+                if found_id == checkpoint_id:
+                    if not (directory / _MANIFEST).exists():
+                        raise CheckpointCorruptionError(
+                            f"checkpoint {directory.name} has no manifest "
+                            f"(write did not complete)")
+                    return directory
+            raise CheckpointNotFoundError(
+                f"no checkpoint with id {checkpoint_id} under {self.root}")
+        for found_id, directory in reversed(dirs):
+            if (directory / _MANIFEST).exists():
+                return directory
+        raise CheckpointNotFoundError(
+            f"no completed checkpoints under {self.root}")
+
+    @staticmethod
+    def _load_manifest(path: Path) -> dict:
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint manifest {path} is missing") from exc
+        except (json.JSONDecodeError, OSError) as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint manifest {path} is torn or unreadable: "
+                f"{exc}") from exc

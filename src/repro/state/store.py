@@ -1,0 +1,277 @@
+"""Session stores: durable checkpoint/restore + event write-ahead logging.
+
+A :class:`SessionStore` persists two complementary things:
+
+* **checkpoints** — full :class:`~repro.state.snapshot.SessionState`
+  snapshots taken at a caller-chosen cadence;
+* a **write-ahead log (WAL)** — the stream of session mutations (answers,
+  validations, masking, refinements) appended as they are applied, so a
+  restore can replay the tail that arrived *after* the latest checkpoint.
+
+Restore = load the newest checkpoint + replay the WAL suffix recorded
+since it. Because the WAL includes ``conclude`` markers and every replayed
+refinement warm-starts exactly as the live one did, the restored session is
+**bit-for-bit** equal to the session at the moment of the last logged
+event — the property the crash/resume conformance path of
+:class:`repro.scenarios.ScenarioRunner` pins with L∞ = 0.0 assertions.
+
+Two implementations: :class:`MemorySessionStore` (the in-process default,
+value-copy semantics, zero I/O) and
+:class:`~repro.state.filestore.FileSessionStore` (npz segments + JSON
+manifest, crash-safe via atomic manifest writes).
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointCorruptionError, CheckpointNotFoundError
+from repro.state.snapshot import SessionState
+
+#: WAL record kinds understood by :func:`replay_events`.
+EVENT_KINDS = ("answer", "validation", "retract", "mask", "grow",
+               "conclude", "step")
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Bookkeeping for one stored checkpoint."""
+
+    checkpoint_id: int
+    wal_position: int
+    n_answers: int
+    n_validated: int
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RestoredSession:
+    """Result of :meth:`SessionStore.restore`.
+
+    Attributes
+    ----------
+    session:
+        The rebuilt live session, WAL tail already replayed.
+    checkpoint:
+        The checkpoint the restore started from.
+    n_replayed:
+        WAL records replayed on top of the checkpoint.
+    step:
+        Value of the last ``step`` marker seen across the whole WAL
+        (``None`` if the driver never logged one). Drivers use this to
+        resume their own loop at the right position.
+    """
+
+    session: object
+    checkpoint: CheckpointInfo
+    n_replayed: int
+    step: int | None
+
+
+# ----------------------------------------------------------------------
+# WAL records
+# ----------------------------------------------------------------------
+def answer_event(obj: int, worker: int, label: int, *,
+                 grow: bool = False,
+                 on_conflict: str | None = None) -> dict:
+    record = {"kind": "answer", "object": int(obj), "worker": int(worker),
+              "label": int(label)}
+    if grow:
+        record["grow"] = True
+    if on_conflict is not None:
+        record["on_conflict"] = on_conflict
+    return record
+
+
+def validation_event(obj: int, label: int, *,
+                     overwrite: bool = False) -> dict:
+    record = {"kind": "validation", "object": int(obj), "label": int(label)}
+    if overwrite:
+        record["overwrite"] = True
+    return record
+
+
+def retract_event(obj: int) -> dict:
+    return {"kind": "retract", "object": int(obj)}
+
+
+def mask_event(workers) -> dict:
+    return {"kind": "mask", "workers": sorted(int(w) for w in workers)}
+
+
+def grow_event(n_objects: int | None = None,
+               n_workers: int | None = None) -> dict:
+    record = {"kind": "grow"}
+    if n_objects is not None:
+        record["n_objects"] = int(n_objects)
+    if n_workers is not None:
+        record["n_workers"] = int(n_workers)
+    return record
+
+
+def conclude_event() -> dict:
+    return {"kind": "conclude"}
+
+
+def step_event(step: int) -> dict:
+    return {"kind": "step", "step": int(step)}
+
+
+def replay_events(session, records) -> tuple[int, int | None]:
+    """Apply WAL records to a session; returns ``(n_applied, last_step)``.
+
+    Replays mutations exactly as the original driver issued them —
+    including ``conclude`` refinements, so the warm-start chain (and hence
+    every float of the model) is reproduced bit-for-bit.
+    """
+    applied = 0
+    last_step = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "answer":
+            session.add_answer(record["object"], record["worker"],
+                               record["label"],
+                               grow=record.get("grow", False),
+                               on_conflict=record.get("on_conflict"))
+        elif kind == "validation":
+            obj = record["object"]
+            if obj >= session.n_objects:
+                session.grow(n_objects=obj + 1)
+            session.add_validation(obj, record["label"],
+                                   overwrite=record.get("overwrite", False))
+        elif kind == "retract":
+            session.retract_validation(record["object"])
+        elif kind == "mask":
+            session.set_masked_workers(record["workers"])
+        elif kind == "grow":
+            session.grow(n_objects=record.get("n_objects"),
+                         n_workers=record.get("n_workers"))
+        elif kind == "conclude":
+            session.conclude()
+        elif kind == "step":
+            last_step = int(record["step"])
+        else:
+            raise CheckpointCorruptionError(
+                f"unknown WAL record kind {kind!r}")
+        applied += 1
+    return applied, last_step
+
+
+# ----------------------------------------------------------------------
+# The store interface
+# ----------------------------------------------------------------------
+class SessionStore(ABC):
+    """Checkpoint + WAL persistence for one validation session."""
+
+    @abstractmethod
+    def append(self, record: dict) -> int:
+        """Append one WAL record; returns the new WAL length."""
+
+    @property
+    @abstractmethod
+    def wal_position(self) -> int:
+        """Number of WAL records appended so far."""
+
+    @abstractmethod
+    def checkpoint(self, session, *, meta: dict | None = None,
+                   partition=None) -> CheckpointInfo:
+        """Persist a full snapshot of ``session`` at the current WAL head.
+
+        ``partition`` (a :class:`repro.partitioning.Partition`) lets
+        file-backed stores split the snapshot into per-shard segments;
+        stores without sharded layouts may ignore it.
+        """
+
+    @abstractmethod
+    def checkpoints(self) -> list[CheckpointInfo]:
+        """All stored checkpoints, oldest first."""
+
+    @abstractmethod
+    def load_state(self, checkpoint_id: int | None = None) -> SessionState:
+        """Load a checkpoint's raw state (latest when ``id`` is omitted)."""
+
+    @abstractmethod
+    def wal_records(self, start: int = 0) -> list[dict]:
+        """WAL records from position ``start`` (inclusive) to the head."""
+
+    def restore(self, checkpoint_id: int | None = None) -> RestoredSession:
+        """Rebuild the live session: newest checkpoint + WAL tail replay."""
+        infos = self.checkpoints()
+        if not infos:
+            raise CheckpointNotFoundError("store holds no checkpoints")
+        if checkpoint_id is None:
+            info = infos[-1]
+        else:
+            by_id = {c.checkpoint_id: c for c in infos}
+            if checkpoint_id not in by_id:
+                raise CheckpointNotFoundError(
+                    f"no checkpoint with id {checkpoint_id}")
+            info = by_id[checkpoint_id]
+        state = self.load_state(info.checkpoint_id)
+        session = state.restore()
+        tail = self.wal_records(info.wal_position)
+        applied, last_step = replay_events(session, tail)
+        # A step marker logged before the checkpoint still tells the
+        # driver where it was; scan the prefix only if the tail had none.
+        if last_step is None:
+            for record in reversed(self.wal_records(0)[:info.wal_position]):
+                if record.get("kind") == "step":
+                    last_step = int(record["step"])
+                    break
+        return RestoredSession(session=session, checkpoint=info,
+                               n_replayed=applied, step=last_step)
+
+
+class MemorySessionStore(SessionStore):
+    """In-process store: value-copied snapshots and WAL records.
+
+    The default backend — same durability as the session itself (none),
+    but the identical checkpoint/restore semantics as the file store, so
+    tests and embedding hosts can exercise crash/resume logic without
+    touching a filesystem.
+    """
+
+    def __init__(self) -> None:
+        self._wal: list[dict] = []
+        self._checkpoints: list[tuple[CheckpointInfo, SessionState]] = []
+
+    def append(self, record: dict) -> int:
+        if record.get("kind") not in EVENT_KINDS:
+            raise ValueError(f"unknown WAL record kind {record.get('kind')!r}")
+        self._wal.append(copy.deepcopy(record))
+        return len(self._wal)
+
+    @property
+    def wal_position(self) -> int:
+        return len(self._wal)
+
+    def checkpoint(self, session, *, meta: dict | None = None,
+                   partition=None) -> CheckpointInfo:
+        state = session.capture_state()
+        info = CheckpointInfo(
+            checkpoint_id=len(self._checkpoints),
+            wal_position=len(self._wal),
+            n_answers=state.n_answers,
+            n_validated=int((state.validated >= 0).sum()),
+            meta=dict(meta or {}))
+        self._checkpoints.append((info, state))
+        return info
+
+    def checkpoints(self) -> list[CheckpointInfo]:
+        return [info for info, _ in self._checkpoints]
+
+    def load_state(self, checkpoint_id: int | None = None) -> SessionState:
+        if not self._checkpoints:
+            raise CheckpointNotFoundError("store holds no checkpoints")
+        if checkpoint_id is None:
+            return self._checkpoints[-1][1]
+        for info, state in self._checkpoints:
+            if info.checkpoint_id == checkpoint_id:
+                return state
+        raise CheckpointNotFoundError(
+            f"no checkpoint with id {checkpoint_id}")
+
+    def wal_records(self, start: int = 0) -> list[dict]:
+        return [copy.deepcopy(r) for r in self._wal[start:]]

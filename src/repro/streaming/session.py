@@ -58,6 +58,22 @@ class ValidationSession:
         subsequent refinements warm-start from the previous model.
     max_iter, tol, smoothing:
         Kernel knobs; see :func:`repro.core.em_kernel.run_em`.
+    use_plan:
+        Whether refinements drive the kernel through a precomputed
+        :class:`~repro.core.em_kernel.KernelPlan` (the bincount fast path)
+        or the ``np.add.at`` reference path. Bit-for-bit identical either
+        way; the knob exists so conformance suites can pin that equality
+        on live sessions.
+    on_conflict:
+        Policy for a *conflicting* re-answer to an already-answered cell
+        (exact duplicates are always dropped silently): ``"error"`` raises
+        :class:`~repro.errors.InvalidAnswerSetError` — the batch
+        ``AnswerSet.from_triples`` contract — while ``"ignore"`` keeps the
+        first answer, drops the resubmission, and counts it in
+        :attr:`n_conflicts`. First-write-wins is the pinned policy (not
+        last-write-wins): the sufficient statistics are an append-only
+        log, so the first answer is the one every batch replay of the
+        same stream sees.
     rng:
         Randomness for the ``"random"`` cold start.
 
@@ -88,13 +104,19 @@ class ValidationSession:
                  max_iter: int = em_kernel.DEFAULT_MAX_ITER,
                  tol: float = em_kernel.DEFAULT_TOL,
                  smoothing: float = em_kernel.DEFAULT_SMOOTHING,
+                 use_plan: bool = True,
+                 on_conflict: str = "error",
                  rng: np.random.Generator | int | None = None) -> None:
         if init not in ("majority", "random", "uniform"):
             raise ValueError(f"unknown init policy {init!r}")
+        if on_conflict not in ("error", "ignore"):
+            raise ValueError(f"unknown conflict policy {on_conflict!r}")
         self.init = init
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.smoothing = float(smoothing)
+        self.use_plan = bool(use_plan)
+        self.on_conflict = on_conflict
         self.rng = ensure_rng(rng)
 
         self._stats = em_kernel.AnswerStats(n_objects, n_workers, n_labels)
@@ -127,6 +149,8 @@ class ValidationSession:
         #: Refinements run and EM iterations spent across them.
         self.n_concludes = 0
         self.total_em_iterations = 0
+        #: Conflicting resubmissions dropped under ``on_conflict="ignore"``.
+        self.n_conflicts = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -283,16 +307,29 @@ class ValidationSession:
             self._log_like = None
 
     def add_answer(self, obj: int, worker: int, label: int,
-                   *, grow: bool = False) -> bool:
+                   *, grow: bool = False,
+                   on_conflict: str | None = None) -> bool:
         """Ingest one crowd answer; returns ``False`` for exact duplicates.
 
         With ``grow=True``, out-of-range object/worker indices extend the
-        dimensions instead of raising.
+        dimensions instead of raising. ``on_conflict`` overrides the
+        session's conflict policy for this call (see the class docstring);
+        under ``"ignore"`` a conflicting resubmission keeps the first
+        answer, returns ``False``, and bumps :attr:`n_conflicts`.
         """
         obj, worker, label = int(obj), int(worker), int(label)
         if grow and (obj >= self.n_objects or worker >= self.n_workers):
             self.grow(n_objects=max(self.n_objects, obj + 1),
                       n_workers=max(self.n_workers, worker + 1))
+        policy = self.on_conflict if on_conflict is None else on_conflict
+        if policy not in ("error", "ignore"):
+            raise ValueError(f"unknown conflict policy {policy!r}")
+        if policy == "ignore" and 0 <= obj < self.n_objects \
+                and 0 <= worker < self.n_workers:
+            current = self._stats.label_of(obj, worker)
+            if current != MISSING and current != label:
+                self.n_conflicts += 1
+                return False
         # Heal any direct-view validation drift for this object *before*
         # the answer log changes, so the delta below is never re-counted.
         if 0 <= obj < self.n_objects \
@@ -311,11 +348,13 @@ class ValidationSession:
         return True
 
     def add_answers(self, triples: Iterable[tuple[int, int, int]],
-                    *, grow: bool = False) -> int:
+                    *, grow: bool = False,
+                    on_conflict: str | None = None) -> int:
         """Ingest a batch of ``(object, worker, label)`` answers."""
         added = 0
         for obj, worker, label in triples:
-            if self.add_answer(obj, worker, label, grow=grow):
+            if self.add_answer(obj, worker, label, grow=grow,
+                               on_conflict=on_conflict):
                 added += 1
         return added
 
@@ -384,7 +423,7 @@ class ValidationSession:
         set with the same warm-start state.
         """
         encoded = self._stats.encoded()
-        plan = em_kernel.kernel_plan(encoded)
+        plan = em_kernel.kernel_plan(encoded) if self.use_plan else None
         validated = self._validation.validated_indices()
         labels = self._validation.validated_labels()
         if self._model is not None \
@@ -400,7 +439,7 @@ class ValidationSession:
         result = em_kernel.run_em(
             encoded, initial, validated, labels,
             max_iter=self.max_iter, tol=self.tol, smoothing=self.smoothing,
-            plan=plan)
+            plan=plan, use_plan=self.use_plan)
         self._install(result)
         return result
 
@@ -475,10 +514,11 @@ class ValidationSession:
             return
         assert self._model is not None
         encoded = self._stats.encoded()
+        plan = em_kernel.kernel_plan(encoded) if self.use_plan else None
         self._log_conf = np.log(
             np.clip(self._model.confusions, PROB_FLOOR, None))
         self._log_like = em_kernel.scatter_log_likelihood(
-            encoded, self._log_conf, plan=em_kernel.kernel_plan(encoded))
+            encoded, self._log_conf, plan=plan)
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -510,6 +550,29 @@ class ValidationSession:
         """Refine, then snapshot — one call for embedding hosts."""
         self.conclude()
         return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint/restore seam for :mod:`repro.state`)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> "SessionState":
+        """Capture the complete mutable state as a value object.
+
+        The returned :class:`repro.state.SessionState` is self-contained:
+        :meth:`restore_state` (or ``SessionState.restore()``) rebuilds a
+        session whose every observable — sufficient statistics, validated
+        confusion counts, warm-start model, dirty set, RNG stream, conclude
+        counters — is bit-for-bit identical to this one's.
+        """
+        from repro.state.snapshot import capture_session
+
+        return capture_session(self)
+
+    @classmethod
+    def restore_state(cls, state: "SessionState") -> "ValidationSession":
+        """Rebuild a session from a :meth:`capture_state` snapshot."""
+        from repro.state.snapshot import restore_session
+
+        return restore_session(state)
 
     # ------------------------------------------------------------------
     def _heal_object(self, obj: int) -> None:

@@ -192,6 +192,22 @@ class ShardedRefresher:
                              em_iterations=tuple(iterations))
 
     # ------------------------------------------------------------------
+    def checkpoint(self, session: ValidationSession, store,
+                   meta: dict | None = None):
+        """Checkpoint ``session`` into ``store`` with per-shard segments.
+
+        Convenience over ``store.checkpoint(session, partition=...)``:
+        passes this refresher's (cached) partition so a file-backed store
+        writes one answer-log segment per block — the layout that lets a
+        future host hand each shard's segment to the process that owns
+        that block. Restore reassembles the segments into the exact
+        insertion-order log regardless of the split (see
+        :mod:`repro.state.filestore`).
+        """
+        return store.checkpoint(session, meta=meta,
+                                partition=self.partition_for(session))
+
+    # ------------------------------------------------------------------
     def _block_payload(self, session: ValidationSession,
                        partition: Partition, block_index: int,
                        encoded: em_kernel.EncodedAnswers,

@@ -41,7 +41,8 @@ from repro.streaming import ValidationSession
 #: The workloads the acceptance criteria require, at minimum.
 REQUIRED_SCENARIOS = ("reliability-drift", "sleeper-spammers",
                       "colluding-clique", "bursty-arrivals", "label-skew",
-                      "fallible-expert")
+                      "fallible-expert", "worker-churn",
+                      "duplicate-resubmissions")
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +267,128 @@ class TestTimedReplayCadence:
         assert len(governed) >= 2
         assert set(np.flatnonzero(compiled.true_spammer_mask)) \
             >= set(governed)
+
+
+class TestWorkerChurn:
+    """The worker-churn scenario: generational arrival, grow cold-start."""
+
+    def test_arrivals_group_into_generations(self):
+        """Merging per-worker arrival-position intervals yields exactly
+        the configured number of generations: cohorts overlap internally
+        but never across the generation boundary."""
+        compiled = compile_registered("worker-churn")
+        positions: dict[int, list[int]] = {}
+        for pos, event in enumerate(compiled.answer_events):
+            interval = positions.setdefault(event.worker_index, [pos, pos])
+            interval[1] = pos
+        merged = 0
+        previous_end = -1
+        for start, end in sorted(positions.values()):
+            if start > previous_end:
+                merged += 1
+            previous_end = max(previous_end, end)
+        assert merged == compiled.spec.behaviors[0].generations
+
+    def test_same_cells_as_churn_free_compile(self):
+        """Churn permutes arrival order only — the set of answered cells
+        (the sparsity mask) matches the same spec compiled without the
+        behavior. Labels themselves may differ: they are drawn from one
+        stream in arrival order, so the permutation re-deals the draws."""
+        import dataclasses
+        spec = compile_registered("worker-churn").spec
+        churn_free = dataclasses.replace(spec, behaviors=())
+        churned = compile_scenario(spec).answer_set.matrix
+        baseline = compile_scenario(churn_free).answer_set.matrix
+        np.testing.assert_array_equal(churned >= 0, baseline >= 0)
+
+    def test_grow_cold_start_drains_to_batch(self):
+        """A 1×1 session grown answer-by-answer through churn arrivals
+        holds exactly the batch data, and a conclude over it matches the
+        batch solve bit for bit (batch↔streaming conformance under
+        churn)."""
+        from repro.simulation.stream import replay
+        compiled = compile_registered("worker-churn")
+        session = ValidationSession(1, 1, compiled.n_labels)
+        replay(compiled.events(), session,
+               conclude_every=len(compiled.answer_events) // 4)
+        grown = session.answer_set.matrix[:compiled.n_objects,
+                                          :compiled.n_workers]
+        np.testing.assert_array_equal(grown, compiled.answer_set.matrix)
+
+        validations = {e.object_index: e.label
+                       for e in compiled.validation_events}
+        batch_validation = ExpertValidation.from_mapping(
+            validations, compiled.n_objects, compiled.n_labels)
+        batch = IncrementalEM().conclude(compiled.answer_set,
+                                         batch_validation)
+        cold = ValidationSession.from_answer_set(compiled.answer_set)
+        for obj, label in validations.items():
+            cold.add_validation(obj, label, overwrite=True)
+        np.testing.assert_array_equal(cold.conclude().assignment,
+                                      batch.assignment)
+
+
+class TestDuplicateResubmissions:
+    """The duplicate-resubmissions scenario pins the conflict policy."""
+
+    def test_resubmissions_are_stream_only_first_write_wins(self):
+        compiled = compile_registered("duplicate-resubmissions")
+        extra = len(compiled.answer_events) - compiled.answer_set.n_answers
+        assert extra > 0  # the behavior actually fired
+        # The batch matrix holds the FIRST submission of every cell.
+        first_seen: dict[tuple[int, int], int] = {}
+        for event in compiled.answer_events:
+            first_seen.setdefault(
+                (event.object_index, event.worker_index), event.label)
+        for (i, j), label in first_seen.items():
+            assert compiled.answer_set.matrix[i, j] == label
+
+    def test_default_policy_rejects_conflicts(self):
+        """on_conflict='error' (the default): the first conflicting
+        resubmission raises — last-write-wins is not on offer."""
+        from repro.errors import InvalidAnswerSetError
+        from repro.simulation.stream import replay
+        compiled = compile_registered("duplicate-resubmissions")
+        session = ValidationSession(1, 1, compiled.n_labels)
+        with pytest.raises(InvalidAnswerSetError):
+            replay(compiled.events(), session)
+
+    def test_ignore_policy_drops_conflicts_and_matches_batch(self):
+        """on_conflict='ignore': conflicts are dropped (and counted), the
+        drained data equals the batch view bit for bit, and a cold solve
+        over it matches the batch solve bit for bit (the drained warm
+        model itself is a different trajectory — the documented streaming
+        contract)."""
+        from repro.simulation.stream import replay
+        compiled = compile_registered("duplicate-resubmissions")
+        session = ValidationSession(1, 1, compiled.n_labels)
+        summary = replay(compiled.events(), session, on_conflict="ignore")
+        assert summary.n_answers == len(compiled.answer_events)
+        assert session.n_conflicts > 0
+        drained = session.answer_set.matrix[:compiled.n_objects,
+                                            :compiled.n_workers]
+        np.testing.assert_array_equal(drained, compiled.answer_set.matrix)
+
+        validations = {e.object_index: e.label
+                       for e in compiled.validation_events}
+        batch_validation = ExpertValidation.from_mapping(
+            validations, compiled.n_objects, compiled.n_labels)
+        batch = IncrementalEM().conclude(compiled.answer_set,
+                                         batch_validation)
+        cold = ValidationSession.from_answer_set(session.answer_set)
+        for obj, label in validations.items():
+            cold.add_validation(obj, label, overwrite=True)
+        np.testing.assert_array_equal(cold.conclude().assignment,
+                                      batch.assignment)
+
+    def test_exact_duplicates_are_free_under_both_policies(self):
+        """A re-sent identical answer is a no-op everywhere: it neither
+        raises under 'error' nor bumps n_conflicts under 'ignore'."""
+        session = ValidationSession(4, 3, 2)
+        session.add_answer(0, 0, 1)
+        assert session.add_answer(0, 0, 1) is False  # error policy: fine
+        assert session.add_answer(0, 0, 1, on_conflict="ignore") is False
+        assert session.n_conflicts == 0
 
 
 @pytest.mark.slow

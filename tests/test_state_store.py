@@ -1,0 +1,237 @@
+"""The on-disk checkpoint format: commit point, corruption, WAL semantics.
+
+Every failure mode a crashed or bit-rotted store can present must map to
+a *typed* :mod:`repro.errors` exception — never a stack trace from deep
+inside numpy/json, and never silently loading garbage:
+
+==============================  =====================================
+torn / unparseable manifest     :class:`CheckpointCorruptionError`
+segment file missing            :class:`CheckpointCorruptionError`
+segment/manifest count mismatch :class:`CheckpointCorruptionError`
+declared dims too small         :class:`CheckpointDimensionError`
+unknown schema version          :class:`CheckpointSchemaError`
+nothing committed yet           :class:`CheckpointNotFoundError`
+==============================  =====================================
+
+The commit point is the manifest: a checkpoint directory without one is
+an incomplete write (crash mid-checkpoint) and is *skipped* — not an
+error — when selecting the latest checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CheckpointCorruptionError,
+    CheckpointDimensionError,
+    CheckpointNotFoundError,
+    CheckpointSchemaError,
+    StateStoreError,
+)
+from repro.state import FileSessionStore, MemorySessionStore
+from repro.state import store as state_events
+from repro.streaming import ValidationSession
+
+
+def _session() -> ValidationSession:
+    session = ValidationSession(6, 4, 2, rng=7)
+    session.add_answers([(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 2, 0),
+                         (2, 1, 1), (2, 3, 1), (3, 0, 1), (4, 2, 0),
+                         (5, 3, 0)])
+    session.add_validation(0, 1)
+    session.conclude()
+    return session
+
+
+def _checkpoint_dir(store: FileSessionStore):
+    dirs = sorted(store.root.glob("ckpt-*"))
+    assert dirs, "no checkpoint directory written"
+    return dirs[-1]
+
+
+def _edit_manifest(store: FileSessionStore, mutate) -> None:
+    path = _checkpoint_dir(store) / "manifest.json"
+    manifest = json.loads(path.read_text())
+    mutate(manifest)
+    path.write_text(json.dumps(manifest))
+
+
+class TestTypedCorruptionErrors:
+    def test_all_checkpoint_errors_are_state_store_errors(self):
+        for exc in (CheckpointNotFoundError, CheckpointCorruptionError,
+                    CheckpointSchemaError, CheckpointDimensionError):
+            assert issubclass(exc, StateStoreError)
+
+    def test_empty_store_raises_not_found(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        with pytest.raises(CheckpointNotFoundError):
+            store.restore()
+        with pytest.raises(CheckpointNotFoundError):
+            store.load_state(checkpoint_id=3)
+
+    def test_torn_manifest_raises_corruption(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(_session())
+        path = _checkpoint_dir(store) / "manifest.json"
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])  # torn mid-write
+        with pytest.raises(CheckpointCorruptionError):
+            store.load_state()
+
+    def test_missing_segment_raises_corruption(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(_session())
+        (_checkpoint_dir(store) / "segment-000.npz").unlink()
+        with pytest.raises(CheckpointCorruptionError):
+            store.load_state()
+
+    def test_segment_count_mismatch_raises_corruption(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(_session())
+        _edit_manifest(store, lambda m: m["segments"][0].update(
+            n_entries=m["segments"][0]["n_entries"] + 1))
+        with pytest.raises(CheckpointCorruptionError):
+            store.load_state()
+
+    def test_dims_mismatch_raises_dimension_error(self, tmp_path):
+        """Declared dims smaller than the logged answers: typed refusal
+        rather than an out-of-bounds session."""
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(_session())
+        _edit_manifest(store, lambda m: m["dims"].update(n_objects=2))
+        with pytest.raises(CheckpointDimensionError):
+            store.load_state()
+
+    def test_masked_worker_out_of_range_raises_dimension_error(
+            self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        session = _session()
+        session.set_masked_workers({1})
+        store.checkpoint(session)
+        _edit_manifest(store, lambda m: m.update(masked_workers=[99]))
+        with pytest.raises(CheckpointDimensionError):
+            store.load_state()
+
+    def test_stale_schema_version_raises_schema_error(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(_session())
+        _edit_manifest(store, lambda m: m.update(schema_version=999))
+        with pytest.raises(CheckpointSchemaError):
+            store.load_state()
+
+    def test_missing_manifest_fields_raise_corruption(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(_session())
+        _edit_manifest(store, lambda m: m.pop("dims"))
+        with pytest.raises(CheckpointCorruptionError):
+            store.load_state()
+
+
+class TestCommitPoint:
+    def test_incomplete_checkpoint_is_skipped_not_fatal(self, tmp_path):
+        """A directory without a manifest (crash mid-checkpoint) is not
+        committed: restore falls back to the previous good checkpoint."""
+        store = FileSessionStore(tmp_path)
+        session = _session()
+        good = store.checkpoint(session)
+        # Simulate a crash mid-write of the NEXT checkpoint: segments and
+        # arrays landed, the manifest never did.
+        partial = store.root / "ckpt-000099"
+        partial.mkdir()
+        np.savez(partial / "segment-000.npz", junk=np.arange(3))
+        assert [info.checkpoint_id for info in store.checkpoints()] \
+            == [good.checkpoint_id]
+        restored = store.restore()
+        assert restored.checkpoint.checkpoint_id == good.checkpoint_id
+
+    def test_explicitly_requested_incomplete_checkpoint_is_corruption(
+            self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(_session())
+        partial = store.root / "ckpt-000099"
+        partial.mkdir()
+        with pytest.raises(CheckpointCorruptionError):
+            store.load_state(checkpoint_id=99)
+
+    def test_latest_complete_checkpoint_wins(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        session = _session()
+        store.checkpoint(session)
+        session.add_answer(5, 1, 1)
+        second = store.checkpoint(session)
+        assert store.restore().checkpoint.checkpoint_id \
+            == second.checkpoint_id
+        assert store.restore().session.stats.n_answers \
+            == session.stats.n_answers
+
+
+class TestWalSemantics:
+    def test_torn_final_wal_line_is_dropped(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.append(state_events.answer_event(0, 0, 1))
+        store.append(state_events.answer_event(1, 1, 0))
+        with open(store.root / "wal.jsonl", "a", encoding="utf-8") as f:
+            f.write('{"kind": "answer", "obj": 2')  # no newline: torn
+        reopened = FileSessionStore(tmp_path)
+        records = reopened.wal_records()
+        assert len(records) == 2
+        assert [r["kind"] for r in records] == ["answer", "answer"]
+
+    def test_malformed_interior_wal_line_is_corruption(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        store.append(state_events.answer_event(0, 0, 1))
+        with open(store.root / "wal.jsonl", "a", encoding="utf-8") as f:
+            f.write("NOT JSON\n")
+        store.append(state_events.answer_event(1, 1, 0))  # valid line after
+        with pytest.raises(CheckpointCorruptionError):
+            FileSessionStore(tmp_path)
+
+    def test_unknown_wal_kind_is_corruption(self):
+        session = ValidationSession(2, 2, 2)
+        with pytest.raises(CheckpointCorruptionError):
+            state_events.replay_events(session, [{"kind": "mystery"}])
+
+    def test_restore_replays_wal_tail_after_checkpoint(self, tmp_path):
+        """Events logged after the last checkpoint are reapplied — the
+        restore point is the WAL head, not the checkpoint."""
+        store = FileSessionStore(tmp_path)
+        session = _session()
+        store.checkpoint(session)
+        store.append(state_events.answer_event(5, 1, 1))
+        session.add_answer(5, 1, 1)
+        store.append(state_events.conclude_event())
+        session.conclude()
+
+        restored = store.restore()
+        assert restored.n_replayed == 2
+        assert restored.session.stats.n_answers == session.stats.n_answers
+        np.testing.assert_array_equal(restored.session.model.assignment,
+                                      session.model.assignment)
+
+
+class TestMemoryStoreParity:
+    """The in-memory store honors the same interface contracts."""
+
+    def test_not_found_on_empty(self):
+        store = MemorySessionStore()
+        with pytest.raises(CheckpointNotFoundError):
+            store.restore()
+
+    def test_records_are_insulated_from_caller_mutation(self):
+        store = MemorySessionStore()
+        record = state_events.mask_event({1, 2})
+        store.append(record)
+        record["workers"].append(99)
+        assert store.wal_records()[0]["workers"] == [1, 2]
+
+    def test_checkpoint_snapshot_is_immune_to_later_mutation(self):
+        store = MemorySessionStore()
+        session = _session()
+        before = session.stats.n_answers
+        store.checkpoint(session)
+        session.add_answer(5, 1, 1)
+        assert store.restore().session.stats.n_answers == before
