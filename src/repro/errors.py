@@ -13,6 +13,44 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
 
+class TransientError:
+    """Mixin marking an error as *transient*: retrying the operation may
+    succeed.
+
+    Transient failures — a checkpoint write hitting a momentary IO error,
+    an expert endpoint timing out, an injected chaos fault — are the ones
+    :func:`repro.resilience.call_with_retry` and
+    :class:`repro.resilience.SupervisedExecutor` are allowed to mask by
+    retrying. Classification is by inheritance so it survives ``raise ...
+    from`` chains and pickling across process pools.
+    """
+
+
+class PermanentError:
+    """Mixin marking an error as *permanent*: retrying cannot help.
+
+    Corrupt checkpoints, schema mismatches, and exhausted retry budgets
+    are permanent — a supervisor must degrade (quarantine the shard, scan
+    back to an older checkpoint, fall back to the exact path) rather than
+    spin on retries.
+    """
+
+
+def is_transient(error: BaseException) -> bool:
+    """Classify an exception as retryable.
+
+    Explicit :class:`TransientError`/:class:`PermanentError` lineage wins;
+    otherwise bare ``OSError``/``TimeoutError`` (the shapes real IO and
+    deadline failures arrive in) default to transient, and everything else
+    — programming errors, library invariant violations — to permanent.
+    """
+    if isinstance(error, TransientError):
+        return True
+    if isinstance(error, PermanentError):
+        return False
+    return isinstance(error, (OSError, TimeoutError))
+
+
 class InvalidAnswerSetError(ReproError):
     """An answer set violates a structural invariant.
 
@@ -88,6 +126,14 @@ class ExpertError(ReproError):
     """A simulated or interactive expert could not produce a validation."""
 
 
+class ExpertUnavailableError(ExpertError, TransientError):
+    """The expert endpoint failed transiently (timeout, flaky connection).
+
+    A :class:`~repro.experts.supervised.SupervisedExpert` retries these;
+    only after the retry budget is exhausted does the failure surface.
+    """
+
+
 class StreamingError(ReproError):
     """A streaming validation session was used inconsistently.
 
@@ -106,21 +152,23 @@ class StateStoreError(ReproError):
     """
 
 
-class CheckpointNotFoundError(StateStoreError):
+class CheckpointNotFoundError(StateStoreError, PermanentError):
     """The requested checkpoint (or any checkpoint at all) does not exist."""
 
 
-class CheckpointCorruptionError(StateStoreError):
+class CheckpointCorruptionError(StateStoreError, PermanentError):
     """A checkpoint is unreadable or internally inconsistent.
 
     Raised for a torn (truncated or unparseable) manifest, a missing or
     unreadable segment file, segment contents that disagree with the
     manifest's bookkeeping, and torn non-final write-ahead-log records —
     anything that must never be silently loaded as session state.
+    Permanent: re-reading the same bytes cannot help; recovery means
+    scanning back to an older checkpoint.
     """
 
 
-class CheckpointSchemaError(StateStoreError):
+class CheckpointSchemaError(StateStoreError, PermanentError):
     """A checkpoint was written under an incompatible schema version.
 
     The on-disk format carries an explicit schema version
@@ -129,10 +177,54 @@ class CheckpointSchemaError(StateStoreError):
     """
 
 
-class CheckpointDimensionError(StateStoreError):
+class CheckpointDimensionError(StateStoreError, PermanentError):
     """A checkpoint's arrays disagree with its declared dimensions.
 
     Raised when the manifest's ``(n_objects, n_workers, n_labels)`` cannot
     contain the answer log / validation / model arrays found in the
     segments — the signature of mixing segments from different sessions.
     """
+
+
+class CheckpointWriteError(StateStoreError, TransientError):
+    """A checkpoint write failed transiently (IO hiccup, disk pressure).
+
+    The write ordering of :class:`repro.state.FileSessionStore` makes a
+    failed checkpoint attempt leave only an uncommitted directory, so the
+    whole write is safely retryable.
+    """
+
+
+class ResilienceError(ReproError):
+    """Base class for supervised-execution failures (:mod:`repro.resilience`)."""
+
+
+class DeadlineExceededError(ResilienceError, TransientError):
+    """A supervised call ran past its per-attempt deadline.
+
+    Transient: the canonical cause is a slow shard or a stalled endpoint,
+    and a retry on a healthy worker usually completes in time.
+    """
+
+
+class RetryExhaustedError(ResilienceError, PermanentError):
+    """A transient failure persisted through the whole retry budget.
+
+    Carries the final underlying failure as ``__cause__``. Permanent by
+    definition — the budget *was* the retry — so supervisors respond by
+    degrading (quarantine, fallback) rather than retrying further.
+    """
+
+
+class InjectedFaultError(ResilienceError):
+    """Base class for faults raised by :class:`repro.resilience.FaultInjector`."""
+
+
+class TransientInjectedFault(InjectedFaultError, TransientError):
+    """An injected fault standing in for a retryable failure (crashed
+    shard worker, dropped connection)."""
+
+
+class PermanentInjectedFault(InjectedFaultError, PermanentError):
+    """An injected fault standing in for an unretryable failure (poisoned
+    shard input, hard hardware fault)."""

@@ -8,6 +8,7 @@ from repro.experts.simulated import (
     OracleExpert,
     ScriptedExpert,
 )
+from repro.experts.supervised import SupervisedExpert
 
 __all__ = [
     "CallbackExpert",
@@ -17,4 +18,5 @@ __all__ = [
     "NoisyExpert",
     "OracleExpert",
     "ScriptedExpert",
+    "SupervisedExpert",
 ]

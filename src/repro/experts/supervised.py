@@ -1,0 +1,95 @@
+"""A retrying wrapper for flaky expert endpoints.
+
+A real deployment elicits validations from a person or a service over a
+network; either can be momentarily unavailable. :class:`SupervisedExpert`
+wraps any :class:`~repro.experts.Expert` with
+:func:`repro.resilience.call_with_retry`, so transient failures
+(:class:`~repro.errors.ExpertUnavailableError`, timeouts, injected flaky
+faults) are absorbed and retried while the elicited label — once obtained
+— is exactly what the wrapped expert would have returned. Retries never
+change *which* label is elicited, only how many calls it took, which is
+what keeps supervised replays bit-equal to fault-free ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.experts.simulated import Expert
+from repro.resilience.events import EventLog
+from repro.resilience.retry import RetryPolicy, RetryTrace, call_with_retry
+from repro.utils.rng import ensure_rng
+
+
+class SupervisedExpert(Expert):
+    """Retry a wrapped expert's elicitations under a policy.
+
+    Parameters
+    ----------
+    expert:
+        The expert doing the actual validating.
+    retry_policy:
+        Attempt budget, backoff, optional per-attempt deadline.
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector` consulted before
+        every underlying call (site ``"expert.validate"``).
+    event_log:
+        Degradation sink shared with the rest of the supervised run.
+    rng:
+        Determinism for backoff jitter.
+    site:
+        Injection/event site name.
+
+    Notes
+    -----
+    Scripted and oracle experts are pure, so retrying them is trivially
+    safe. A :class:`~repro.experts.NoisyExpert` draws from its own RNG per
+    *successful* call; injected faults fire before the wrapped call runs,
+    so its stream advances identically with and without supervision.
+    """
+
+    def __init__(self, expert: Expert, *,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_injector=None,
+                 event_log: EventLog | None = None,
+                 rng: np.random.Generator | int | None = 0,
+                 site: str = "expert.validate") -> None:
+        self.expert = expert
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_injector = fault_injector
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.site = site
+        self._rng = ensure_rng(rng)
+        #: Retry traces of every elicitation, in call order.
+        self.traces: list[RetryTrace] = []
+
+    @property
+    def n_retries(self) -> int:
+        """Total absorbed failures across all elicitations."""
+        return sum(trace.attempts - 1 for trace in self.traces)
+
+    # ------------------------------------------------------------------
+    def validate(self, obj: int, context: Mapping[str, object] | None = None,
+                 ) -> int:
+        result, trace = call_with_retry(
+            lambda: self.expert.validate(obj, context),
+            self.retry_policy, site=self.site, key=int(obj),
+            rng=self._rng, injector=self.fault_injector,
+            event_log=self.event_log)
+        self.traces.append(trace)
+        return int(result)
+
+    def reconsider(self, obj: int) -> int:
+        result, trace = call_with_retry(
+            lambda: self.expert.reconsider(obj),
+            self.retry_policy, site=self.site, key=int(obj),
+            rng=self._rng, injector=self.fault_injector,
+            event_log=self.event_log)
+        self.traces.append(trace)
+        return int(result)
+
+    def __repr__(self) -> str:
+        return (f"SupervisedExpert({self.expert!r}, "
+                f"max_attempts={self.retry_policy.max_attempts})")

@@ -80,6 +80,11 @@ class Executor:
         lazily create a pool and keep it for subsequent calls (the
         validation process re-scores objects every iteration, so pool reuse
         matters for the Figure 4 response times).
+
+        If any task raises, outstanding chunks are cancelled and the pool
+        is shut down (``cancel_futures=True``) before the first failure is
+        re-raised — a failed map never leaks a pool still grinding through
+        doomed work, and the next call starts on a fresh pool.
         """
         items = list(items)
         if self.mode == "serial" or len(items) <= 1:
@@ -87,10 +92,23 @@ class Executor:
         if self._pool is None:
             self.__enter__()
         assert self._pool is not None
-        chunk = max(1, len(items) // (4 * self.max_workers))
-        if isinstance(self._pool, ProcessPoolExecutor):
-            return list(self._pool.map(fn, items, chunksize=chunk))
-        return list(self._pool.map(fn, items))
+        chunk = max(1, len(items) // (4 * self.max_workers)) \
+            if isinstance(self._pool, ProcessPoolExecutor) else 1
+        chunks = [items[start:start + chunk]
+                  for start in range(0, len(items), chunk)]
+        futures = [self._pool.submit(_map_chunk, fn, piece)
+                   for piece in chunks]
+        results: list = []
+        try:
+            for future in futures:
+                results.extend(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            raise
+        return results
 
     def starmap(self, fn: Callable, items: Iterable[Sequence]) -> list:
         """Like :meth:`map` but unpacks each item as positional arguments."""
@@ -98,6 +116,11 @@ class Executor:
 
     def __repr__(self) -> str:
         return f"Executor(mode={self.mode!r}, max_workers={self.max_workers})"
+
+
+def _map_chunk(fn: Callable, chunk: Sequence) -> list:
+    """Apply ``fn`` to one chunk (module-level so process pools pickle it)."""
+    return [fn(item) for item in chunk]
 
 
 class _StarCall:

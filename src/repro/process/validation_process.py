@@ -95,6 +95,13 @@ class ValidationProcess:
     checkpoint_every:
         Checkpoint after every this-many iterations (requires ``store``;
         ``None`` checkpoints only at the end of :meth:`run`).
+    checkpoint_retry_policy:
+        Optional :class:`repro.resilience.RetryPolicy`. When set, the
+        cadence and final checkpoints run under
+        :func:`~repro.resilience.call_with_retry` (site
+        ``"store.checkpoint"``) so a transient write failure costs a
+        retry, not the run; ``checkpoint_event_log`` (a
+        :class:`repro.resilience.EventLog`) records the degradations.
     rng:
         Randomness for the roulette wheel and strategy tie-breaks.
 
@@ -129,6 +136,8 @@ class ValidationProcess:
                  gold: Sequence[int] | np.ndarray | None = None,
                  store=None,
                  checkpoint_every: int | None = None,
+                 checkpoint_retry_policy=None,
+                 checkpoint_event_log=None,
                  rng: np.random.Generator | int | None = None) -> None:
         self.answer_set = answer_set
         self.expert = expert
@@ -158,6 +167,8 @@ class ValidationProcess:
                 raise ValueError("checkpoint_every requires a store")
         self.store = store
         self.checkpoint_every = checkpoint_every
+        self.checkpoint_retry_policy = checkpoint_retry_policy
+        self.checkpoint_event_log = checkpoint_event_log
         self.rng = ensure_rng(rng)
 
         # Mutable run state (Algorithm 1, lines 1–4), held by a streaming
@@ -208,6 +219,17 @@ class ValidationProcess:
         if self.store is not None \
                 and (self._session_driven or record.get("kind") != "conclude"):
             self.store.append(record)
+
+    def _checkpoint(self, meta: dict) -> None:
+        """One (optionally retried) checkpoint of the live session."""
+        if self.checkpoint_retry_policy is None:
+            self.store.checkpoint(self.session, meta=meta)
+            return
+        from repro.resilience.retry import call_with_retry
+        call_with_retry(
+            lambda: self.store.checkpoint(self.session, meta=meta),
+            self.checkpoint_retry_policy, site="store.checkpoint",
+            key=meta.get("iteration"), event_log=self.checkpoint_event_log)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -310,8 +332,8 @@ class ValidationProcess:
         self._log(state_events.step_event(self.iteration))
         if self.checkpoint_every is not None \
                 and self.iteration % self.checkpoint_every == 0:
-            self.store.checkpoint(self.session, meta={
-                "iteration": self.iteration, "effort": self.effort})
+            self._checkpoint({"iteration": self.iteration,
+                              "effort": self.effort})
         return record
 
     def _run_confirmation_check(self) -> tuple[int, ...]:
@@ -359,7 +381,6 @@ class ValidationProcess:
         while not self.is_done():
             self.step()
         if self.store is not None:
-            self.store.checkpoint(self.session, meta={
-                "iteration": self.iteration, "effort": self.effort,
-                "final": True})
+            self._checkpoint({"iteration": self.iteration,
+                              "effort": self.effort, "final": True})
         return self.report()

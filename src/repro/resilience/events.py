@@ -1,0 +1,117 @@
+"""Typed degradation events: the audit trail of supervised execution.
+
+Every time the resilience layer masks, retries, or routes around a fault
+— instead of letting it surface as an exception — it records a
+:class:`DegradationEvent`. The contract of the chaos conformance suite is
+precisely this split: *transient* faults are invisible in results (final
+posteriors stay bit-equal) but visible in the event log, while failures
+that force a degradation (shard quarantine, checkpoint scan-back,
+fallback to the exact path) appear as events **instead of** exceptions.
+
+The log is deliberately simple — an append-only in-process list with a
+JSON projection — so it can be attached to any layer (executor, store,
+expert, scenario runner) without coupling them, and dumped as the CI
+chaos job's artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+#: Event kinds the library itself records. Callers may record others;
+#: these are the vocabulary the conformance suite asserts over.
+EVENT_KINDS = (
+    "retry",                 # one transient failure absorbed, attempt rerun
+    "deadline",              # per-attempt deadline breached, attempt rerun
+    "retry-exhausted",       # transient failures outlived the retry budget
+    "permanent-failure",     # a non-retryable failure was observed
+    "quarantine",            # a shard exceeded its failure budget
+    "fallback-exact",        # sharded refresh degraded to the exact path
+    "checkpoint-scan-back",  # restore skipped a corrupt/stale checkpoint
+)
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded degradation.
+
+    Attributes
+    ----------
+    kind:
+        What happened (see :data:`EVENT_KINDS`).
+    site:
+        The named injection/supervision site (``"shard.refresh"``,
+        ``"filestore.checkpoint-write"``, ``"expert.validate"``, …).
+    key:
+        The affected unit within the site — a shard/block index, an
+        object index, a checkpoint id — or ``None`` for site-wide events.
+    attempt:
+        1-based attempt number at which the event fired (0 when the
+        notion does not apply).
+    detail:
+        Free-form human-readable context.
+    error:
+        ``repr``-style rendering of the underlying exception, if any.
+    """
+
+    kind: str
+    site: str
+    key: int | str | None = None
+    attempt: int = 0
+    detail: str = ""
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class EventLog:
+    """Append-only recorder shared across the resilience layers.
+
+    One log instance is typically threaded through a whole supervised run
+    (executor + store + expert), so the resulting sequence is the run's
+    complete degradation history in causal order.
+    """
+
+    _events: list[DegradationEvent] = field(default_factory=list)
+
+    def record(self, kind: str, site: str, *,
+               key: int | str | None = None,
+               attempt: int = 0,
+               detail: str = "",
+               error: BaseException | str | None = None) -> DegradationEvent:
+        """Append one event (exceptions are rendered to strings)."""
+        rendered = None
+        if error is not None:
+            rendered = error if isinstance(error, str) \
+                else f"{type(error).__name__}: {error}"
+        event = DegradationEvent(kind=kind, site=site, key=key,
+                                 attempt=attempt, detail=detail,
+                                 error=rendered)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> tuple[DegradationEvent, ...]:
+        return tuple(self._events)
+
+    def of_kind(self, *kinds: str) -> tuple[DegradationEvent, ...]:
+        """Events whose kind is one of ``kinds``, in record order."""
+        return tuple(e for e in self._events if e.kind in kinds)
+
+    def count(self, *kinds: str) -> int:
+        """Number of events (optionally restricted to ``kinds``)."""
+        if not kinds:
+            return len(self._events)
+        return len(self.of_kind(*kinds))
+
+    def to_json(self) -> list[dict]:
+        """The whole log as JSON-serializable dicts (the CI artifact)."""
+        return [event.to_dict() for event in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)

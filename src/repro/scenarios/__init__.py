@@ -51,6 +51,7 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.runner import (
     ConformanceError,
+    FaultReplay,
     PathDivergence,
     RecordedStep,
     ScenarioOutcome,
@@ -68,6 +69,7 @@ __all__ = [
     "CompiledScenario",
     "ConformanceError",
     "ExpertSpec",
+    "FaultReplay",
     "PathDivergence",
     "PoissonSchedule",
     "RecordedStep",

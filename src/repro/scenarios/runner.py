@@ -1,6 +1,6 @@
 """The differential end-to-end conformance harness.
 
-A :class:`ScenarioRunner` drives one compiled scenario through the four
+A :class:`ScenarioRunner` drives one compiled scenario through the five
 execution paths the system ships:
 
 1. **batch** — a full :class:`~repro.process.validation_process
@@ -15,7 +15,13 @@ execution paths the system ships:
    :class:`~repro.state.SessionStore` on a fixed cadence with process
    kills injected at random step boundaries; each kill discards the live
    session and resumes from ``store.restore()`` (latest checkpoint +
-   write-ahead-log tail).
+   write-ahead-log tail);
+5. **replay under faults** — the streaming replay once more, with every
+   driver-level operation supervised (:mod:`repro.resilience`) and a
+   deterministic :class:`~repro.resilience.FaultPlan` firing failures at
+   the named sites: flaky expert elicitations, crashed refinements, and
+   checkpoint-write IO errors are retried whole; slow shards breach
+   deadlines; unmaskable failures degrade into recorded events.
 
 and then checks that they agree:
 
@@ -28,7 +34,11 @@ and then checks that they agree:
 * sharded vs batch is the independent-blocks approximation, held to the
   documented ``sharded_atol`` posterior divergence **or**
   ``sharded_map_agreement`` MAP-label agreement (single-block refreshers
-  must meet the exact tolerance).
+  must meet the exact tolerance);
+* replay-under-faults vs the fault-free streaming run must match to
+  ``exact_atol`` whenever the fault plan is *transient-only*: retries and
+  deadline reruns may change how many attempts things took, but never a
+  single float of the final posterior.
 
 The outcome bundles the paper's §6.1 effort-to-quality curves (via
 :class:`~repro.process.report.ValidationReport`) and spammer-detection
@@ -46,6 +56,7 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.experts.simulated import ScriptedExpert
+from repro.experts.supervised import SupervisedExpert
 from repro.guidance.base import GuidanceStrategy
 from repro.guidance.information_gain import (
     LOOKAHEAD_MODES,
@@ -53,6 +64,15 @@ from repro.guidance.information_gain import (
 )
 from repro.process.report import ValidationReport
 from repro.process.validation_process import ValidationProcess
+from repro.resilience import (
+    EventLog,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SupervisedExecutor,
+    call_with_retry,
+    transient_chaos_plan,
+)
 from repro.scenarios.compiler import CompiledScenario
 from repro.state import MemorySessionStore
 from repro.state import store as state_events
@@ -91,6 +111,29 @@ class PathDivergence:
 
 
 @dataclass(frozen=True)
+class FaultReplay:
+    """Path 5 artifacts: posteriors plus the full degradation record.
+
+    ``posteriors`` is the final assignment matrix; ``event_log`` holds
+    every degradation the supervision recorded (retries, deadline
+    breaches, quarantines, fallbacks, scan-backs); ``injector`` exposes
+    which planned faults actually fired.
+    """
+
+    posteriors: np.ndarray
+    event_log: EventLog
+    injector: FaultInjector
+
+    @property
+    def n_faults_fired(self) -> int:
+        return len(self.injector.fired)
+
+    @property
+    def n_degradations(self) -> int:
+        return len(self.event_log)
+
+
+@dataclass(frozen=True)
 class ScenarioOutcome:
     """Everything one conformance run produced.
 
@@ -106,6 +149,14 @@ class ScenarioOutcome:
     resume_divergence:
         Crash/resume replay vs the uninterrupted streaming replay; the
         restore contract makes this exactly zero.
+    fault_divergence:
+        Replay-under-faults vs the fault-free streaming replay. The
+        default transient-only chaos plan must be fully masked, so this
+        too is exactly zero.
+    n_faults_fired, n_degradations:
+        How many injected faults fired during path 5 and how many
+        degradation events the supervision recorded for them — evidence
+        the chaos actually happened rather than being planned and missed.
     detection_precision, detection_recall:
         Spammer detection against the scenario's ``true_spammer_mask``
         after the run's final validation state.
@@ -126,6 +177,10 @@ class ScenarioOutcome:
     n_detected: int
     n_truly_faulty: int
     elapsed_seconds: float = 0.0
+    fault_divergence: PathDivergence = PathDivergence(
+        max_abs_posterior_gap=0.0, map_agreement=1.0)
+    n_faults_fired: int = 0
+    n_degradations: int = 0
 
     def summary(self) -> dict[str, float | str | int]:
         """Flat scalars for tables and JSON reports."""
@@ -143,6 +198,10 @@ class ScenarioOutcome:
                 self.sharded_divergence.map_agreement),
             "resume_linf": float(
                 self.resume_divergence.max_abs_posterior_gap),
+            "fault_linf": float(
+                self.fault_divergence.max_abs_posterior_gap),
+            "n_faults_fired": int(self.n_faults_fired),
+            "n_degradations": int(self.n_degradations),
             "detection_precision": float(self.detection_precision),
             "detection_recall": float(self.detection_recall),
             "elapsed_seconds": float(self.elapsed_seconds),
@@ -347,6 +406,143 @@ class ScenarioRunner:
             index += 1
         return np.array(session.model.assignment)
 
+    def replay_under_faults(self, scenario: CompiledScenario,
+                            steps: list[RecordedStep],
+                            template: ValidationSession,
+                            *,
+                            plan: FaultPlan | None = None,
+                            store=None,
+                            retry_policy: RetryPolicy | None = None,
+                            sharded_blocks: int | None = None,
+                            failure_budget: int = 2,
+                            n_kills: int = 0) -> FaultReplay:
+        """Path 5: the recorded replay, supervised, under a fault schedule.
+
+        Every driver-level operation runs under supervision: expert
+        elicitations through a :class:`~repro.experts.SupervisedExpert`
+        (site ``"expert.validate"``), exact refinements and checkpoint
+        writes through :func:`~repro.resilience.call_with_retry` (sites
+        ``"session.conclude"`` / ``"store.checkpoint"``), and — when
+        ``sharded_blocks`` is given — block solves through a
+        :class:`~repro.resilience.SupervisedExecutor` (site
+        ``"shard.refresh"``) with ``failure_budget``-driven quarantine
+        and fallback to the exact path.
+
+        With a *transient-only* ``plan`` (default:
+        :func:`~repro.resilience.transient_chaos_plan`) and no sharding,
+        the final posterior is bit-equal to the fault-free streaming
+        replay: an injected fault fires *before* the guarded operation
+        runs, so every retried conclude is a whole conclude and the
+        warm-start chain is reproduced float for float. ``n_kills``
+        additionally crashes and restores the session mid-replay
+        (``store.restore`` scan-back included), which must also be
+        invisible in the result.
+
+        Sharded mode makes no bit-equality promise (multi-block refresh
+        is the documented approximation); its contract is that shard
+        failures surface as recorded quarantine/fallback events — never
+        as exceptions — which :class:`FaultReplay` exposes for the
+        conformance suite to assert.
+        """
+        plan = plan if plan is not None else transient_chaos_plan(self.seed)
+        injector = FaultInjector(plan)
+        event_log = EventLog()
+        policy = retry_policy or RetryPolicy(max_attempts=3)
+        if sharded_blocks is not None:
+            posteriors = self._replay_faults_sharded(
+                scenario, steps, template, injector=injector,
+                event_log=event_log, policy=policy,
+                sharded_blocks=sharded_blocks,
+                failure_budget=failure_budget)
+            return FaultReplay(posteriors=posteriors, event_log=event_log,
+                               injector=injector)
+
+        if store is None:
+            store = MemorySessionStore()
+        expert = SupervisedExpert(
+            ScriptedExpert({int(step.object_index): int(step.expert_label)
+                            for step in steps}),
+            retry_policy=policy, fault_injector=injector,
+            event_log=event_log, rng=0)
+        guard_rng = spawn_rngs(
+            np.random.SeedSequence((self.seed, 0xFA_17)), 1)[0]
+
+        def conclude() -> None:
+            store.append(state_events.conclude_event())
+            call_with_retry(session.conclude, policy,
+                            site="session.conclude", rng=guard_rng,
+                            injector=injector, event_log=event_log)
+
+        def checkpoint(meta: dict) -> None:
+            call_with_retry(lambda: store.checkpoint(session, meta=meta),
+                            policy, site="store.checkpoint", rng=guard_rng,
+                            injector=injector, event_log=event_log)
+
+        n_steps = len(steps)
+        kill_before: set[int] = set()
+        if n_steps > 1 and n_kills > 0:
+            kill_rng = spawn_rngs(
+                np.random.SeedSequence((self.seed, 0xFA_11)), 1)[0]
+            boundaries = np.arange(1, n_steps)
+            chosen = kill_rng.choice(boundaries,
+                                     size=min(n_kills, boundaries.size),
+                                     replace=False)
+            kill_before = {int(b) for b in chosen}
+
+        session = self._fresh_session(scenario, template)
+        conclude()
+        checkpoint({"step": -1})
+        index = 0
+        while index < n_steps:
+            if index in kill_before:
+                kill_before.discard(index)
+                del session
+                restored = store.restore(event_log=event_log)
+                session = restored.session
+                index = 0 if restored.step is None else restored.step + 1
+                continue
+            step = steps[index]
+            # Elicit through the supervised expert so flaky-endpoint
+            # faults land on the expert site; the recorded label is what
+            # gets ingested either way (the scripted expert is pure).
+            expert.validate(step.object_index)
+            store.append(state_events.validation_event(
+                step.object_index, step.expert_label, overwrite=True))
+            session.add_validation(step.object_index, step.expert_label,
+                                   overwrite=True)
+            store.append(state_events.mask_event(step.masked_workers))
+            session.set_masked_workers(step.masked_workers)
+            conclude()
+            store.append(state_events.step_event(index))
+            if (index + 1) % self.checkpoint_every == 0:
+                checkpoint({"step": index})
+            index += 1
+        return FaultReplay(posteriors=np.array(session.model.assignment),
+                           event_log=event_log, injector=injector)
+
+    def _replay_faults_sharded(self, scenario: CompiledScenario,
+                               steps: list[RecordedStep],
+                               template: ValidationSession, *,
+                               injector: FaultInjector,
+                               event_log: EventLog,
+                               policy: RetryPolicy,
+                               sharded_blocks: int,
+                               failure_budget: int) -> np.ndarray:
+        supervisor = SupervisedExecutor(
+            retry_policy=policy, failure_budget=failure_budget,
+            fault_injector=injector, event_log=event_log, seed=self.seed)
+        refresher = ShardedRefresher(max_objects_per_block=sharded_blocks,
+                                     supervisor=supervisor)
+        session = self._fresh_session(scenario, template)
+        refresher.refresh(session)
+        for step in steps:
+            session.add_validation(step.object_index, step.expert_label,
+                                   overwrite=True)
+            if session.set_masked_workers(step.masked_workers):
+                refresher.invalidate_partition()
+            refresher.refresh(session)
+        return np.array(session.model.assignment)
+
     @staticmethod
     def _fresh_session(scenario: CompiledScenario,
                        template: ValidationSession) -> ValidationSession:
@@ -376,9 +572,12 @@ class ScenarioRunner:
         streaming = self.replay_streaming(scenario, steps, process.session)
         sharded = self.replay_sharded(scenario, steps, process.session)
         resumed = self.replay_crash_resume(scenario, steps, process.session)
+        fault_replay = self.replay_under_faults(scenario, steps,
+                                                process.session)
         streaming_divergence = _divergence(batch_posteriors, streaming)
         sharded_divergence = _divergence(batch_posteriors, sharded)
         resume_divergence = _divergence(streaming, resumed)
+        fault_divergence = _divergence(streaming, fault_replay.posteriors)
 
         detection = SpammerDetector().detect(
             scenario.answer_set, process.validation,
@@ -399,6 +598,9 @@ class ScenarioRunner:
             n_truly_faulty=int(
                 np.count_nonzero(scenario.true_spammer_mask)),
             elapsed_seconds=time.perf_counter() - started,
+            fault_divergence=fault_divergence,
+            n_faults_fired=fault_replay.n_faults_fired,
+            n_degradations=fault_replay.n_degradations,
         )
         if check:
             self.check(outcome)
@@ -422,6 +624,14 @@ class ScenarioRunner:
                 f"streaming run by {resume_gap:.3e} "
                 f"(> {self.exact_atol:.1e}) — checkpoint restore must be "
                 f"bit-for-bit")
+        fault_gap = outcome.fault_divergence.max_abs_posterior_gap
+        if fault_gap > self.exact_atol:
+            raise ConformanceError(
+                f"scenario {outcome.scenario!r} ({outcome.lookahead}): "
+                f"replay under transient-only faults diverges from the "
+                f"fault-free streaming run by {fault_gap:.3e} "
+                f"(> {self.exact_atol:.1e}) — retried operations must "
+                f"mask injected faults without touching a single float")
         sharded = outcome.sharded_divergence
         if (sharded.max_abs_posterior_gap > self.sharded_atol
                 and sharded.map_agreement < self.sharded_map_agreement):

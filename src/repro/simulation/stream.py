@@ -164,7 +164,10 @@ def replay(events: Iterable,
            refresher=None,
            on_conflict: str | None = None,
            store=None,
-           checkpoint_every_seconds: float | None = None) -> ReplaySummary:
+           checkpoint_every_seconds: float | None = None,
+           retry_policy=None,
+           fault_injector=None,
+           event_log=None) -> ReplaySummary:
     """Drive a :class:`~repro.streaming.ValidationSession` with an event stream.
 
     Parameters
@@ -204,6 +207,15 @@ def replay(events: Iterable,
         Full-checkpoint cadence on the event clock (same crossing
         semantics as ``conclude_every_seconds``); requires ``store``. A
         final checkpoint is always taken after the stream drains.
+    retry_policy, fault_injector, event_log:
+        Resilience wiring (:mod:`repro.resilience`). When either of the
+        first two is given, the driver-level operations — exact
+        refinements (site ``"session.conclude"``) and checkpoint writes
+        (site ``"store.checkpoint"``) — run under
+        :func:`~repro.resilience.call_with_retry`: transient failures
+        (injected or real) are retried whole, so a supervised replay's
+        final state stays bit-equal to the unsupervised one. Degradations
+        are recorded into ``event_log``.
     """
     if conclude_every is not None and conclude_every < 1:
         raise ValueError("conclude_every must be >= 1 or None, "
@@ -225,6 +237,17 @@ def replay(events: Iterable,
         if conclude_every_seconds is not None else None
     next_checkpoint_time = checkpoint_every_seconds \
         if checkpoint_every_seconds is not None else None
+    supervised = retry_policy is not None or fault_injector is not None
+    guard_rng = ensure_rng(0) if supervised else None
+
+    def guarded(fn, site: str):
+        if not supervised:
+            return fn()
+        from repro.resilience.retry import call_with_retry
+        result, _trace = call_with_retry(
+            fn, retry_policy, site=site, rng=guard_rng,
+            injector=fault_injector, event_log=event_log)
+        return result
 
     def refine() -> None:
         if refresher is not None:
@@ -234,7 +257,10 @@ def replay(events: Iterable,
             # only the exact conclude chain is WAL-replayable.
             if store is not None:
                 store.append(state_events.conclude_event())
-            session.conclude()
+            # An injected fault fires before conclude runs, so a retried
+            # refinement is always a whole one — never a half-applied EM
+            # pass that would wreck the warm-start chain's bit-equality.
+            guarded(session.conclude, "session.conclude")
 
     for event in events:
         if isinstance(event, AnswerEvent):
@@ -268,12 +294,15 @@ def replay(events: Iterable,
             next_refine_time = intervals * conclude_every_seconds
         if next_checkpoint_time is not None \
                 and event.time >= next_checkpoint_time:
-            store.checkpoint(session, meta={"time": float(event.time)})
+            when = float(event.time)
+            guarded(lambda: store.checkpoint(session, meta={"time": when}),
+                    "store.checkpoint")
             intervals = int(event.time // checkpoint_every_seconds) + 1
             next_checkpoint_time = intervals * checkpoint_every_seconds
     refine()
     if store is not None:
-        store.checkpoint(session, meta={"final": True})
+        guarded(lambda: store.checkpoint(session, meta={"final": True}),
+                "store.checkpoint")
     return ReplaySummary(
         n_answers=n_answers,
         n_validations=n_validations,

@@ -47,6 +47,7 @@ from repro.core.answer_set import MISSING
 from repro.errors import (CheckpointCorruptionError,
                           CheckpointDimensionError,
                           CheckpointNotFoundError, CheckpointSchemaError)
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.state.snapshot import STATE_SCHEMA_VERSION, SessionState
 from repro.state.store import CheckpointInfo, SessionStore
 
@@ -64,11 +65,30 @@ class FileSessionStore(SessionStore):
     >>> store = FileSessionStore(tmp_path)          # doctest: +SKIP
     >>> store.checkpoint(session)                   # doctest: +SKIP
     >>> restored = store.restore()                  # doctest: +SKIP
+
+    Resilience hooks
+    ----------------
+    ``retry_policy`` retries the whole checkpoint write on transient
+    failures (:class:`~repro.errors.CheckpointWriteError`, bare
+    ``OSError``) — safe because the manifest is the commit point, so a
+    failed attempt leaves only an uncommitted directory that the retry
+    overwrites. ``fault_injector`` arms two sites:
+    ``"filestore.checkpoint-write"`` fires just *before* the manifest
+    commit (simulating a torn checkpoint), and
+    ``"filestore.segment-read"`` fires during restore assembly
+    (simulating a corrupt segment). ``event_log`` receives the retry /
+    degradation events.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike, *,
+                 fault_injector=None,
+                 retry_policy: RetryPolicy | None = None,
+                 event_log=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=1)
+        self.event_log = event_log
         self._wal_path = self.root / _WAL
         self._wal_count = len(self._read_wal())
 
@@ -123,7 +143,25 @@ class FileSessionStore(SessionStore):
         state = session.capture_state()
         checkpoint_id = self._next_checkpoint_id()
         directory = self.root / f"{_CKPT_PREFIX}{checkpoint_id:06d}"
-        directory.mkdir(parents=True, exist_ok=False)
+        # The whole write is one retryable unit: a failed attempt leaves an
+        # uncommitted directory (no manifest) that the next attempt simply
+        # rewrites — hence exist_ok below, and why retrying is safe. With
+        # no retries configured the wrapper is skipped so a failure keeps
+        # its original type instead of surfacing as RetryExhaustedError.
+        if self.retry_policy.max_attempts == 1 and self.event_log is None:
+            return self._write_checkpoint(directory, checkpoint_id, state,
+                                          meta, partition)
+        info, _trace = call_with_retry(
+            lambda: self._write_checkpoint(directory, checkpoint_id, state,
+                                           meta, partition),
+            self.retry_policy, site="filestore.checkpoint-write",
+            key=checkpoint_id, event_log=self.event_log)
+        return info
+
+    def _write_checkpoint(self, directory: Path, checkpoint_id: int,
+                          state: SessionState, meta: dict | None,
+                          partition) -> CheckpointInfo:
+        directory.mkdir(parents=True, exist_ok=True)
 
         segments = self._write_segments(directory, state, partition)
         global_arrays = {}
@@ -176,7 +214,13 @@ class FileSessionStore(SessionStore):
             "segments": segments,
             "meta": info.meta,
         }
-        # Manifest last, atomically: its presence is the commit point.
+        # Manifest last, atomically: its presence is the commit point. The
+        # injected fault fires here — after the segments, before the commit
+        # — so a fired fault leaves exactly the torn-checkpoint shape that
+        # a real crash would.
+        if self.fault_injector is not None:
+            self.fault_injector.check("filestore.checkpoint-write",
+                                      checkpoint_id)
         tmp = directory / (_MANIFEST + ".tmp")
         tmp.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
         os.replace(tmp, directory / _MANIFEST)
@@ -229,7 +273,13 @@ class FileSessionStore(SessionStore):
             manifest_path = directory / _MANIFEST
             if not manifest_path.exists():
                 continue  # incomplete (crashed mid-write): not committed
-            manifest = self._load_manifest(manifest_path)
+            try:
+                manifest = self._load_manifest(manifest_path)
+            except CheckpointCorruptionError:
+                # A torn manifest never committed — equivalent to a crash
+                # one syscall earlier. Listing skips it; explicit
+                # load_state(checkpoint_id) stays strict and raises.
+                continue
             infos.append(CheckpointInfo(
                 checkpoint_id=checkpoint_id,
                 wal_position=int(manifest.get("wal_position", 0)),
@@ -267,7 +317,14 @@ class FileSessionStore(SessionStore):
         positions, objs, wrks, labs = [], [], [], []
         validated = np.full(n_objects, MISSING, dtype=np.int64)
         dirty: set[int] = set()
+        suffix = directory.name[len(_CKPT_PREFIX):]
+        read_key = int(suffix) if suffix.isdigit() else suffix
         for entry in segment_entries:
+            if self.fault_injector is not None:
+                # A fired "corrupt" fault raises CheckpointCorruptionError
+                # exactly as a garbage segment would, driving the restore
+                # scan-back path without touching real bytes.
+                self.fault_injector.check("filestore.segment-read", read_key)
             path = directory / entry["file"]
             if not path.exists():
                 raise CheckpointCorruptionError(

@@ -27,7 +27,9 @@ import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
-from repro.errors import CheckpointCorruptionError, CheckpointNotFoundError
+from repro.errors import (CheckpointCorruptionError,
+                          CheckpointDimensionError,
+                          CheckpointNotFoundError, CheckpointSchemaError)
 from repro.state.snapshot import SessionState
 
 #: WAL record kinds understood by :func:`replay_events`.
@@ -62,12 +64,17 @@ class RestoredSession:
         Value of the last ``step`` marker seen across the whole WAL
         (``None`` if the driver never logged one). Drivers use this to
         resume their own loop at the right position.
+    skipped_checkpoints:
+        Ids of newer checkpoints that were corrupt/unreadable and were
+        scanned past to reach this one, newest first (empty on the happy
+        path).
     """
 
     session: object
     checkpoint: CheckpointInfo
     n_replayed: int
     step: int | None
+    skipped_checkpoints: tuple[int, ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -196,20 +203,55 @@ class SessionStore(ABC):
     def wal_records(self, start: int = 0) -> list[dict]:
         """WAL records from position ``start`` (inclusive) to the head."""
 
-    def restore(self, checkpoint_id: int | None = None) -> RestoredSession:
-        """Rebuild the live session: newest checkpoint + WAL tail replay."""
+    def restore(self, checkpoint_id: int | None = None, *,
+                event_log=None) -> RestoredSession:
+        """Rebuild the live session: newest checkpoint + WAL tail replay.
+
+        With no explicit ``checkpoint_id``, a corrupt/unreadable latest
+        checkpoint is **scanned back**: the store walks to the newest
+        *valid* checkpoint, replays the (longer) WAL tail from there, and
+        reports the skipped ids in
+        :attr:`RestoredSession.skipped_checkpoints` — recording one
+        ``"checkpoint-scan-back"`` event per skip when an ``event_log``
+        (:class:`repro.resilience.EventLog`) is supplied. Only when *no*
+        checkpoint is valid does restore raise. An explicit
+        ``checkpoint_id`` stays strict: the caller asked for those exact
+        bytes, so corruption propagates.
+        """
         infos = self.checkpoints()
         if not infos:
             raise CheckpointNotFoundError("store holds no checkpoints")
         if checkpoint_id is None:
-            info = infos[-1]
+            info = state = None
+            skipped: list[int] = []
+            last_error: Exception | None = None
+            for candidate in reversed(infos):
+                try:
+                    state = self.load_state(candidate.checkpoint_id)
+                except (CheckpointCorruptionError, CheckpointSchemaError,
+                        CheckpointDimensionError) as exc:
+                    last_error = exc
+                    skipped.append(candidate.checkpoint_id)
+                    if event_log is not None:
+                        event_log.record(
+                            "checkpoint-scan-back", "store.restore",
+                            key=candidate.checkpoint_id, error=exc)
+                    continue
+                info = candidate
+                break
+            if info is None:
+                raise CheckpointCorruptionError(
+                    f"all {len(infos)} checkpoint(s) are corrupt or "
+                    f"unreadable; latest failure: {last_error}"
+                ) from last_error
         else:
+            skipped = []
             by_id = {c.checkpoint_id: c for c in infos}
             if checkpoint_id not in by_id:
                 raise CheckpointNotFoundError(
                     f"no checkpoint with id {checkpoint_id}")
             info = by_id[checkpoint_id]
-        state = self.load_state(info.checkpoint_id)
+            state = self.load_state(info.checkpoint_id)
         session = state.restore()
         tail = self.wal_records(info.wal_position)
         applied, last_step = replay_events(session, tail)
@@ -221,7 +263,8 @@ class SessionStore(ABC):
                     last_step = int(record["step"])
                     break
         return RestoredSession(session=session, checkpoint=info,
-                               n_replayed=applied, step=last_step)
+                               n_replayed=applied, step=last_step,
+                               skipped_checkpoints=tuple(skipped))
 
 
 class MemorySessionStore(SessionStore):

@@ -35,11 +35,18 @@ from repro.streaming.session import ValidationSession
 
 @dataclass(frozen=True)
 class RefreshReport:
-    """Outcome of one partition-scoped refresh."""
+    """Outcome of one partition-scoped refresh.
+
+    ``fallback`` is ``None`` for a normal sharded refresh and
+    ``"exact"`` when a supervised refresher degraded to the session's
+    exact :meth:`~repro.streaming.session.ValidationSession.conclude`
+    because a shard failed or was quarantined.
+    """
 
     n_blocks: int
     refreshed_blocks: tuple[int, ...]
     em_iterations: tuple[int, ...]
+    fallback: str | None = None
 
     @property
     def n_refreshed(self) -> int:
@@ -85,6 +92,16 @@ class ShardedRefresher:
         Parallel map backend for the per-block solves; defaults to serial.
     seed:
         Spectral-bisection seed, for deterministic partitions.
+    supervisor:
+        Optional :class:`~repro.resilience.SupervisedExecutor`. When set,
+        block solves run under its retries/deadlines/quarantine (site
+        ``"shard.refresh"``, keyed by block index) and — should any block
+        still fail or sit in quarantine — the refresh *degrades instead of
+        raising*: it runs the session's exact
+        :meth:`~repro.streaming.session.ValidationSession.conclude`,
+        records a ``"fallback-exact"`` degradation event, and reports
+        ``fallback="exact"``. ``executor`` is ignored in that case; the
+        supervisor's own backend runs the solves.
 
     Examples
     --------
@@ -101,10 +118,12 @@ class ShardedRefresher:
 
     def __init__(self, max_objects_per_block: int = 64,
                  executor: Executor | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 supervisor=None) -> None:
         self.max_objects_per_block = int(max_objects_per_block)
         self.executor = executor or Executor("serial")
         self.seed = int(seed)
+        self.supervisor = supervisor
         self._partition: Partition | None = None
         self._partition_version: int | None = None
 
@@ -172,7 +191,16 @@ class ShardedRefresher:
             self._block_payload(session, partition, index, encoded,
                                 validated, warm, object_starts)
             for index in dirty_blocks]
-        results = self.executor.starmap(_refine_block, payloads)
+        if self.supervisor is not None:
+            outcomes = self.supervisor.run(_refine_block, payloads,
+                                           keys=dirty_blocks,
+                                           site="shard.refresh", star=True)
+            bad = [outcome for outcome in outcomes if not outcome.ok]
+            if bad:
+                return self._fallback_exact(session, partition, bad)
+            results = [outcome.value for outcome in outcomes]
+        else:
+            results = self.executor.starmap(_refine_block, payloads)
 
         iterations: list[int] = []
         for block_index, (block_assignment, n_iter, _converged) \
@@ -190,6 +218,27 @@ class ShardedRefresher:
         return RefreshReport(n_blocks=partition.n_blocks,
                              refreshed_blocks=tuple(dirty_blocks),
                              em_iterations=tuple(iterations))
+
+    # ------------------------------------------------------------------
+    def _fallback_exact(self, session: ValidationSession,
+                        partition: Partition, bad) -> RefreshReport:
+        """Degrade to the exact path when supervised shards fail.
+
+        The exact conclude is slower but touches no shard machinery, so a
+        quarantined or persistently failing block cannot block progress —
+        the degradation is recorded, never raised.
+        """
+        failed = ", ".join(f"block {outcome.key} {outcome.status}"
+                           for outcome in bad)
+        self.supervisor.event_log.record(
+            "fallback-exact", "shard.refresh",
+            detail=f"exact conclude replacing sharded refresh ({failed})",
+            error=next((outcome.error for outcome in bad
+                        if outcome.error), None))
+        session.conclude()
+        return RefreshReport(n_blocks=partition.n_blocks,
+                             refreshed_blocks=(), em_iterations=(),
+                             fallback="exact")
 
     # ------------------------------------------------------------------
     def checkpoint(self, session: ValidationSession, store,

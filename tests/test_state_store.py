@@ -16,6 +16,12 @@ nothing committed yet           :class:`CheckpointNotFoundError`
 The commit point is the manifest: a checkpoint directory without one is
 an incomplete write (crash mid-checkpoint) and is *skipped* — not an
 error — when selecting the latest checkpoint.
+
+The table above is the ``load_state`` contract — explicit loads stay
+strict. ``restore()`` with no explicit id additionally *scans back*
+over corrupt newer checkpoints to the newest valid one (see
+``tests/test_resilience_faults.py::TestStoreResilience``), raising only
+when no valid checkpoint exists.
 """
 
 from __future__ import annotations
