@@ -2,10 +2,13 @@
 
 from repro.costmodel.allocation import (
     AllocationPoint,
+    BudgetRoute,
     ConstrainedAllocation,
     allocation_curve,
     best_allocation,
     best_allocation_with_time,
+    frontier_entropies,
+    route_budget,
 )
 from repro.costmodel.model import (
     DEFAULT_THETA,
@@ -21,6 +24,7 @@ from repro.costmodel.tradeoff import CostCurvePoint, ev_cost_curve, wo_cost_curv
 
 __all__ = [
     "AllocationPoint",
+    "BudgetRoute",
     "BudgetSplit",
     "ConstrainedAllocation",
     "CostCurvePoint",
@@ -33,6 +37,8 @@ __all__ = [
     "ev_cost_curve",
     "ev_cost_per_object",
     "ev_total_cost",
+    "frontier_entropies",
+    "route_budget",
     "split_budget",
     "wo_cost_curve",
 ]

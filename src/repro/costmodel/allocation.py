@@ -12,11 +12,13 @@ Figure 14.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.uncertainty import object_entropies
 from repro.costmodel.model import budget_for_ratio, split_budget
 from repro.errors import CostModelError
 from repro.experts.simulated import OracleExpert
@@ -38,8 +40,11 @@ class AllocationPoint:
     phi0:
         Answers per object that share affords.
     n_validations:
-        Expert validations the rest affords (also the completion-time
-        proxy — the y2-axis of Figure 14).
+        Expert validations *actually spent* (``report.total_effort``) —
+        the completion-time proxy on the y2-axis of Figure 14. When the
+        crowd share affords more answers per object than the campaign
+        holds, the stranded crowd budget rolls over into extra expert
+        validations, so this can exceed the nominal split's count.
     precision:
         Final precision of the deterministic assignment.
     """
@@ -75,7 +80,13 @@ def allocation_curve(crowd: SimulatedCrowd,
             continue
         phi0 = min(spend.phi0, max_phi)
         thinned = subsample_per_object(crowd, phi0, generator)
-        n_validations = min(spend.n_validations, n)
+        # Capping φ₀ to what the campaign actually holds strands the
+        # crowd budget the cap freed: (spend.phi0 - phi0)·n monetary
+        # units that previously just evaporated. Roll them over into
+        # expert validations at the rate θ, so the whole budget b is
+        # spent either way.
+        stranded = (spend.phi0 - phi0) * n
+        n_validations = min(spend.n_validations + int(stranded / theta), n)
         process = ValidationProcess(
             thinned,
             OracleExpert(crowd.gold),
@@ -144,3 +155,84 @@ def best_allocation_with_time(points: Sequence[AllocationPoint],
         boundary_share=min(p.crowd_share for p in feasible),
         feasible=feasible,
     )
+
+
+# ----------------------------------------------------------------------
+# Cross-session expert routing (quality targets)
+# ----------------------------------------------------------------------
+def frontier_entropies(source) -> np.ndarray:
+    """Descending entropies of a run's *frontier* objects.
+
+    The frontier is the unvalidated objects minus those already concluded
+    by a quality target — exactly the candidates guidance would score
+    next. Accepts either a
+    :class:`~repro.process.validation_process.ValidationProcess` (uses its
+    current ``prob_set``) or a bare
+    :class:`~repro.streaming.ValidationSession` (uses ``posteriors()``).
+    """
+    if hasattr(source, "prob_set"):
+        assignment = source.prob_set.assignment
+        unvalidated = source.prob_set.validation.unvalidated_indices()
+        concluded = source.session.concluded_mask
+    else:
+        assignment = source.posteriors()
+        unvalidated = source.validation.unvalidated_indices()
+        concluded = source.concluded_mask
+    frontier = unvalidated[~concluded[unvalidated]]
+    if frontier.size == 0:
+        return np.empty(0, dtype=float)
+    entropies = object_entropies(assignment)[frontier]
+    return np.sort(entropies)[::-1]
+
+
+@dataclass(frozen=True)
+class BudgetRoute:
+    """Result of :func:`route_budget`.
+
+    Attributes
+    ----------
+    allocations:
+        Validations assigned to each session, in input order.
+    spent:
+        Total validations assigned (≤ the requested budget — smaller only
+        when the combined frontiers hold fewer objects than the budget).
+    expected_gain:
+        Sum of the frontier entropies the allocated validations target —
+        the greedy objective value, useful for comparing routings.
+    """
+
+    allocations: tuple[int, ...]
+    spent: int
+    expected_gain: float
+
+
+def route_budget(sessions: Sequence, total_budget: int) -> BudgetRoute:
+    """Split an expert budget across sessions by marginal quality gain.
+
+    Greedy water-filling: each validation goes to the session whose
+    *next-best* frontier object has the highest entropy — the marginal
+    quality-per-validation proxy. A session with a drained frontier (all
+    objects validated or concluded by quality targets) receives nothing,
+    which is how freed budget flows from finished sessions to ones still
+    in doubt. Exchange-argument optimal for the additive-entropy objective
+    since per-session gains are consumed in descending order. Ties break
+    to the lowest session index, deterministically.
+    """
+    if total_budget < 0:
+        raise CostModelError(
+            f"total_budget must be >= 0, got {total_budget}")
+    gains = [frontier_entropies(source) for source in sessions]
+    allocations = [0] * len(gains)
+    heap = [(-g[0], index, 0) for index, g in enumerate(gains) if g.size]
+    heapq.heapify(heap)
+    spent = 0
+    expected_gain = 0.0
+    while spent < total_budget and heap:
+        neg_gain, index, rank = heapq.heappop(heap)
+        allocations[index] += 1
+        spent += 1
+        expected_gain += -neg_gain
+        if rank + 1 < gains[index].size:
+            heapq.heappush(heap, (-gains[index][rank + 1], index, rank + 1))
+    return BudgetRoute(allocations=tuple(allocations), spent=spent,
+                       expected_gain=float(expected_gain))

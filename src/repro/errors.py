@@ -93,8 +93,20 @@ class BudgetExhaustedError(ReproError):
 class GuidanceError(ReproError):
     """A guidance strategy could not select an object.
 
-    Raised when there are no unvalidated objects left to choose from, or
-    when a strategy is queried before the process has been initialized.
+    Raised when there are no unvalidated objects left to choose from, when
+    a strategy is queried before the process has been initialized, or when
+    candidate scores are unusable (NaN) so no argmax exists.
+    """
+
+
+class GoalError(ReproError):
+    """A validation goal is misconfigured for the process it guards.
+
+    Raised at :class:`~repro.process.validation_process.ValidationProcess`
+    construction when the goal tree needs inputs the process was not given
+    — e.g. :class:`~repro.process.goals.PrecisionReached` without gold
+    labels — so the mistake surfaces immediately instead of mid-loop out
+    of ``is_done()``.
     """
 
 

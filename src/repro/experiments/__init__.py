@@ -39,6 +39,7 @@ ALL_EXPERIMENTS: dict[str, str] = {
     "fig23": "repro.experiments.fig23_cost_reliability",
     "appe": "repro.experiments.appe_hardness",
     "scen": "repro.experiments.scen_conformance",
+    "qtarget": "repro.experiments.quality_targets",
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_experiment"]

@@ -37,6 +37,15 @@ class GuidanceContext:
         Randomness (roulette-wheel draw, tie breaking).
     hybrid_weight:
         The dynamic weight ``z_i`` of Eq. 15, maintained by the process.
+    concluded:
+        Optional per-object boolean mask of objects a
+        :class:`~repro.process.goals.QualityTarget` has concluded (their
+        posterior already clears the confidence target). Concluded objects
+        are pruned from :meth:`candidates` — and therefore from every
+        strategy's scoring and look-ahead frontier — shrinking the
+        ``O(|candidates| × m)`` selection cost as the run converges.
+        ``None`` (the default) means no pruning: selection is bit-for-bit
+        the historical behaviour.
     """
 
     prob_set: ProbabilisticAnswerSet
@@ -44,10 +53,22 @@ class GuidanceContext:
     detector: SpammerDetector
     rng: np.random.Generator
     hybrid_weight: float = 0.0
+    concluded: np.ndarray | None = None
 
     def candidates(self) -> np.ndarray:
-        """Unvalidated object indices — the strategy's choice set."""
-        return self.prob_set.validation.unvalidated_indices()
+        """Unvalidated, unconcluded object indices — the choice set.
+
+        When every unvalidated object is already concluded (the target is
+        met per-object but a combined goal keeps the loop running), the
+        pruned frontier would be empty; selection falls back to the full
+        unvalidated set so strategies never dead-end on a non-empty
+        answer set.
+        """
+        unvalidated = self.prob_set.validation.unvalidated_indices()
+        if self.concluded is None or unvalidated.size == 0:
+            return unvalidated
+        frontier = unvalidated[~self.concluded[unvalidated]]
+        return frontier if frontier.size else unvalidated
 
 
 @dataclass(frozen=True)
@@ -102,16 +123,38 @@ class GuidanceStrategy(abc.ABC):
         return f"{type(self).__name__}()"
 
 
+#: Relative half-width of the tie band in :func:`argmax_with_ties`: scores
+#: within ``best − TIE_RTOL·max(1, |best|)`` of the best count as tied.
+TIE_RTOL = 1e-12
+
+
 def argmax_with_ties(scores: np.ndarray,
                      candidates: np.ndarray,
                      rng: np.random.Generator | None = None) -> int:
     """Index (into ``candidates``) of the best score; random tie break.
 
-    Deterministic (first maximum) when ``rng`` is None.
+    Deterministic (first maximum) when ``rng`` is None. The tie band is
+    *scale-relative* — ``TIE_RTOL · max(1, |best|)`` — so scores that are
+    equal up to floating-point noise stay tied whether they are entropy
+    sums of order 10⁵ or gains of order 10⁻³.
+
+    Raises
+    ------
+    GuidanceError
+        If ``scores`` is empty or contains NaN (a NaN score has no
+        ordering, so no argmax exists).
     """
     scores = np.asarray(scores, dtype=float)
+    if scores.size == 0:
+        raise GuidanceError("argmax_with_ties received no scores")
+    if np.isnan(scores).any():
+        bad = np.flatnonzero(np.isnan(scores))
+        raise GuidanceError(
+            f"candidate scores contain NaN at positions {bad.tolist()[:8]} "
+            f"(objects {np.asarray(candidates)[bad].tolist()[:8]}) — "
+            f"scores must be totally ordered to select an argmax")
     best = scores.max()
-    tied = np.flatnonzero(scores >= best - 1e-12)
+    tied = np.flatnonzero(scores >= best - TIE_RTOL * max(1.0, abs(best)))
     if rng is None or tied.size == 1:
         return int(candidates[tied[0]])
     return int(candidates[rng.choice(tied)])

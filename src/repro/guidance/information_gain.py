@@ -297,7 +297,11 @@ class InformationGainStrategy(GuidanceStrategy):
         if (self.candidate_limit is not None
                 and candidates.size > self.candidate_limit):
             entropies = object_entropies(prob_set.assignment)[candidates]
-            top = np.argsort(entropies)[::-1][:self.candidate_limit]
+            # Stable argsort on the negated key: boundary ties resolve to
+            # the lowest candidate index (the PR 2 tie-break convention),
+            # unlike reversing an ascending argsort, which picks the
+            # highest index and makes the pruned set order-unstable.
+            top = np.argsort(-entropies, kind="stable")[:self.candidate_limit]
             candidates = candidates[np.sort(top)]
 
         encoded = em_kernel.encode_answers(prob_set.answer_set)

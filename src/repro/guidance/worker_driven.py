@@ -69,7 +69,9 @@ class WorkerDrivenStrategy(GuidanceStrategy):
                 and candidates.size > self.candidate_limit):
             answered = answer_set.matrix[candidates, :] != MISSING
             coverage = answered.sum(axis=1)
-            top = np.argsort(coverage)[::-1][:self.candidate_limit]
+            # Stable argsort on the negated key so boundary ties keep the
+            # lowest candidate index (see InformationGainStrategy.select).
+            top = np.argsort(-coverage, kind="stable")[:self.candidate_limit]
             candidates = candidates[np.sort(top)]
 
         scores = np.array([

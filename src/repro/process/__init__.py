@@ -5,8 +5,10 @@ from repro.process.goals import (
     AllValidated,
     NeverSatisfied,
     PrecisionReached,
+    QualityTarget,
     UncertaintyBelow,
     ValidationGoal,
+    iter_goals,
 )
 from repro.process.report import StepRecord, ValidationReport
 from repro.process.validation_process import ValidationProcess
@@ -17,10 +19,12 @@ __all__ = [
     "FaultyWorkerFilter",
     "NeverSatisfied",
     "PrecisionReached",
+    "QualityTarget",
     "StepRecord",
     "UncertaintyBelow",
     "ValidationGoal",
     "ValidationProcess",
     "ValidationReport",
     "dynamic_weight",
+    "iter_goals",
 ]

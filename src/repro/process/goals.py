@@ -10,9 +10,12 @@ is always in force as the second stopping condition of Algorithm 1.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
 
 from repro.core.uncertainty import answer_set_uncertainty, normalized_uncertainty
+from repro.errors import GoalError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.process.validation_process import ValidationProcess
@@ -20,6 +23,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 class ValidationGoal(abc.ABC):
     """Stopping condition evaluated after every validation iteration."""
+
+    #: Whether evaluating the goal needs the process to hold gold labels.
+    #: :class:`~repro.process.validation_process.ValidationProcess` checks
+    #: this at construction and raises :class:`~repro.errors.GoalError`
+    #: immediately instead of letting ``is_done()`` blow up mid-loop.
+    requires_gold: bool = False
 
     @abc.abstractmethod
     def satisfied(self, process: "ValidationProcess") -> bool:
@@ -40,8 +49,21 @@ class _CombinedGoal(ValidationGoal):
         self._require_all = require_all
 
     def satisfied(self, process: "ValidationProcess") -> bool:
+        # Left-to-right with short-circuit, like the ``and``/``or`` the
+        # operators spell: a satisfied disjunct (or failed conjunct) stops
+        # evaluation, so later goals never run — callers may rely on an
+        # expensive or stateful goal being guarded by an earlier one.
         results = (goal.satisfied(process) for goal in self._goals)
         return all(results) if self._require_all else any(results)
+
+
+def iter_goals(goal: ValidationGoal) -> Iterator[ValidationGoal]:
+    """Yield every leaf goal in a (possibly combined) goal tree."""
+    if isinstance(goal, _CombinedGoal):
+        for child in goal._goals:
+            yield from iter_goals(child)
+    else:
+        yield goal
 
 
 class UncertaintyBelow(ValidationGoal):
@@ -75,6 +97,8 @@ class PrecisionReached(ValidationGoal):
     uses ``PrecisionReached(1.0)`` to measure effort-to-perfect-correctness.
     """
 
+    requires_gold = True
+
     def __init__(self, target: float = 1.0) -> None:
         if not 0.0 <= target <= 1.0:
             raise ValueError(f"target must be in [0, 1], got {target}")
@@ -83,7 +107,9 @@ class PrecisionReached(ValidationGoal):
     def satisfied(self, process: "ValidationProcess") -> bool:
         precision = process.current_precision()
         if precision is None:
-            raise ValueError(
+            # ValidationProcess rejects this pairing at construction; the
+            # raise here covers goals evaluated outside a process.
+            raise GoalError(
                 "PrecisionReached requires the process to have gold labels")
         return precision >= self.target
 
@@ -100,3 +126,60 @@ class NeverSatisfied(ValidationGoal):
 
     def satisfied(self, process: "ValidationProcess") -> bool:
         return False
+
+
+class QualityTarget(ValidationGoal):
+    """Per-object quality target with early stopping (CDAS-style).
+
+    An object is **concluded** once the posterior mass of its most likely
+    label reaches ``confidence``. The process records the conclusion in the
+    session's persistent concluded mask (WAL ``conclude-object`` events, so
+    crash/resume restores it bit-exactly) and every guidance strategy
+    prunes concluded objects from its candidate frontier — the expert's
+    remaining effort concentrates on the objects still in doubt.
+
+    Conclusions are **sticky** (hysteresis): once an object concludes, a
+    later refinement dipping its posterior below ``confidence`` does *not*
+    silently un-conclude it — thrashing near the threshold would otherwise
+    churn the frontier every step. Revocation is an explicit act only
+    (``ValidationSession.conclude_object(obj, revoke=True)``).
+
+    Parameters
+    ----------
+    confidence:
+        Posterior threshold in (0.5, 1.0]: conclude object ``o`` when
+        ``max_l Pr(o = l) >= confidence``.
+    min_coverage:
+        Fraction of objects that must be concluded before the goal is
+        satisfied (1.0 = all objects).
+    """
+
+    def __init__(self, confidence: float,
+                 min_coverage: float = 1.0) -> None:
+        if not 0.5 < confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in (0.5, 1.0], got {confidence}")
+        if not 0.0 < min_coverage <= 1.0:
+            raise ValueError(
+                f"min_coverage must be in (0, 1], got {min_coverage}")
+        self.confidence = float(confidence)
+        self.min_coverage = float(min_coverage)
+
+    def newly_concluded(self, assignment: np.ndarray,
+                        concluded: np.ndarray) -> np.ndarray:
+        """Objects clearing the threshold that are not yet concluded.
+
+        A small absolute slack keeps the comparison robust to the float
+        noise of ``confidence`` values like 0.9 that are not exactly
+        representable; expert-validated objects (posterior exactly 1.0)
+        always qualify.
+        """
+        peak = assignment.max(axis=1)
+        return np.flatnonzero((peak >= self.confidence - 1e-12)
+                              & ~concluded)
+
+    def satisfied(self, process: "ValidationProcess") -> bool:
+        mask = process.session.concluded_mask
+        if mask.size == 0:
+            return True
+        return int(mask.sum()) >= self.min_coverage * mask.size - 1e-9

@@ -51,6 +51,10 @@ class StepRecord:
         Wall-clock duration of the full iteration (selection + conclude).
     reconsidered:
         Objects re-elicited by the confirmation check this iteration.
+    frontier_size:
+        Number of candidates guidance actually scored this iteration —
+        the unvalidated set minus quality-target-concluded objects
+        (``-1`` for records written before the column existed).
     """
 
     iteration: int
@@ -67,6 +71,7 @@ class StepRecord:
     em_iterations: int
     elapsed_seconds: float = 0.0
     reconsidered: tuple[int, ...] = ()
+    frontier_size: int = -1
 
 
 @dataclass
@@ -206,7 +211,7 @@ class ValidationReport:
             "iteration", "object_index", "expert_label", "strategy",
             "hybrid_weight", "error_rate", "spammer_ratio", "n_suspected",
             "uncertainty", "precision", "effort", "em_iterations",
-            "elapsed_seconds",
+            "elapsed_seconds", "frontier_size",
         ])
         for r in self.records:
             writer.writerow([
@@ -214,7 +219,7 @@ class ValidationReport:
                 f"{r.hybrid_weight:.6f}", f"{r.error_rate:.6f}",
                 f"{r.spammer_ratio:.6f}", r.n_suspected,
                 f"{r.uncertainty:.6f}", f"{r.precision:.6f}", r.effort,
-                r.em_iterations, f"{r.elapsed_seconds:.6f}",
+                r.em_iterations, f"{r.elapsed_seconds:.6f}", r.frontier_size,
             ])
         return buffer.getvalue()
 

@@ -35,14 +35,15 @@ from repro.core.instantiation import deterministic_assignment
 from repro.core.probabilistic import ProbabilisticAnswerSet
 from repro.core.uncertainty import answer_set_uncertainty
 from repro.core.validation import ExpertValidation
-from repro.errors import BudgetExhaustedError, GuidanceError
+from repro.errors import BudgetExhaustedError, GoalError, GuidanceError
 from repro.experts.confirmation import ConfirmationCheck
 from repro.experts.simulated import Expert
 from repro.guidance.base import GuidanceContext, GuidanceStrategy
 from repro.guidance.hybrid import HybridStrategy
 from repro.metrics.evaluation import precision as precision_metric
 from repro.process.faulty_filter import FaultyWorkerFilter
-from repro.process.goals import NeverSatisfied, ValidationGoal
+from repro.process.goals import (NeverSatisfied, QualityTarget,
+                                 ValidationGoal, iter_goals)
 from repro.process.report import StepRecord, ValidationReport
 from repro.process.weighting import dynamic_weight
 from repro.state import store as state_events
@@ -159,6 +160,16 @@ class ValidationProcess:
             raise ValueError(
                 f"gold must have length {answer_set.n_objects}, "
                 f"got shape {self.gold.shape}")
+        if self.gold is None:
+            needy = [type(g).__name__ for g in iter_goals(self.goal)
+                     if g.requires_gold]
+            if needy:
+                raise GoalError(
+                    f"goal(s) {needy} require gold labels but the process "
+                    f"was constructed without gold — pass gold= or choose "
+                    f"a gold-free goal")
+        self._quality_targets = [g for g in iter_goals(self.goal)
+                                 if isinstance(g, QualityTarget)]
         if checkpoint_every is not None:
             if checkpoint_every < 1:
                 raise ValueError("checkpoint_every must be >= 1 or None, "
@@ -196,6 +207,7 @@ class ValidationProcess:
         self.records: list[StepRecord] = []
         self._active_answer_set = answer_set
         self.prob_set: ProbabilisticAnswerSet = self._conclude(previous=None)
+        self._sync_quality_targets()
         self._initial_precision = self.current_precision()
         self._initial_uncertainty = answer_set_uncertainty(self.prob_set)
 
@@ -219,6 +231,24 @@ class ValidationProcess:
         if self.store is not None \
                 and (self._session_driven or record.get("kind") != "conclude"):
             self.store.append(record)
+
+    def _sync_quality_targets(self) -> None:
+        """Conclude every object whose posterior clears a quality target.
+
+        Conclusions are logged to the WAL (``conclude-object``) before the
+        session mask is updated, mirroring the log-then-apply ordering of
+        every other mutation so crash/resume replays the mask bit-exactly.
+        The mask is sticky — objects dipping back below the threshold stay
+        concluded (see :class:`~repro.process.goals.QualityTarget`).
+        """
+        if not self._quality_targets:
+            return
+        mask = self.session.concluded_mask
+        for target in self._quality_targets:
+            for obj in target.newly_concluded(self.prob_set.assignment, mask):
+                self._log(state_events.conclude_object_event(int(obj)))
+                self.session.conclude_object(int(obj))
+                mask[obj] = True
 
     def _checkpoint(self, meta: dict) -> None:
         """One (optionally retried) checkpoint of the live session."""
@@ -262,14 +292,22 @@ class ValidationProcess:
             raise GuidanceError("all objects are already validated")
         started = time.perf_counter()
 
-        # (1) Select an object.
+        # (1) Select an object, pruning quality-target-concluded objects
+        # from the frontier. With no targets (or none concluded yet) the
+        # mask is literally None, so the disabled path is bit-identical to
+        # a process built before quality targets existed.
+        mask = self.session.concluded_mask if self._quality_targets else None
+        if mask is not None and not mask.any():
+            mask = None
         context = GuidanceContext(
             prob_set=self.prob_set,
             aggregator=self.aggregator,
             detector=self.detector,
             rng=self.rng,
             hybrid_weight=self.hybrid_weight,
+            concluded=mask,
         )
+        frontier_size = int(context.candidates().size)
         selection = self.strategy.select(context)
         obj = selection.object_index
         worker_branch = selection.strategy == "worker"
@@ -310,6 +348,9 @@ class ValidationProcess:
                 and self.iteration % self.confirmation_interval == 0):
             reconsidered = self._run_confirmation_check()
 
+        # (6) Conclude objects whose refreshed posterior clears a target.
+        self._sync_quality_targets()
+
         elapsed = time.perf_counter() - started
         precision = self.current_precision()
         record = StepRecord(
@@ -327,6 +368,7 @@ class ValidationProcess:
             em_iterations=self.prob_set.n_em_iterations,
             elapsed_seconds=elapsed,
             reconsidered=reconsidered,
+            frontier_size=frontier_size,
         )
         self.records.append(record)
         self._log(state_events.step_event(self.iteration))

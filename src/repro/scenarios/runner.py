@@ -91,11 +91,19 @@ class ConformanceError(ReproError):
 
 @dataclass(frozen=True)
 class RecordedStep:
-    """One batch iteration, replayable against a session."""
+    """One batch iteration, replayable against a session.
+
+    ``concluded_objects`` lists the objects a quality target concluded by
+    the end of this iteration (the first step also carries conclusions
+    made at process construction — the mask is monotone during a run, so
+    folding them forward preserves the final union). Empty when the
+    runner has no quality target.
+    """
 
     object_index: int
     expert_label: int
     masked_workers: frozenset[int]
+    concluded_objects: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -254,6 +262,14 @@ class ScenarioRunner:
         Tie-break randomness for the guidance roulette and the kill-point
         draws (scenario content is fixed by the compiled scenario, not by
         this).
+    quality_target:
+        Optional :class:`~repro.process.goals.QualityTarget` goal for the
+        batch path. When set, the batch run stops early once the target's
+        coverage holds, guidance prunes concluded objects, the recorded
+        steps carry the per-step concluded deltas, and every replay path
+        reproduces the mask — crash/resume asserts the restored mask is
+        bit-equal to the recorded union. ``None`` (default) leaves every
+        path exactly as it was before quality targets existed.
     """
 
     def __init__(self,
@@ -267,7 +283,8 @@ class ScenarioRunner:
                  handle_faulty: bool = True,
                  n_kills: int = 2,
                  checkpoint_every: int = 3,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 quality_target=None) -> None:
         if n_kills < 0:
             raise ValueError(f"n_kills must be >= 0, got {n_kills}")
         if checkpoint_every < 1:
@@ -283,6 +300,7 @@ class ScenarioRunner:
         self.n_kills = int(n_kills)
         self.checkpoint_every = int(checkpoint_every)
         self.seed = int(seed)
+        self.quality_target = quality_target
 
     # ------------------------------------------------------------------
     def _strategy(self, lookahead: str) -> GuidanceStrategy:
@@ -296,6 +314,9 @@ class ScenarioRunner:
                   ) -> tuple[ValidationProcess, list[RecordedStep]]:
         """Path 1: the guided batch process, recording every decision."""
         rng = spawn_rngs(np.random.SeedSequence((self.seed, 0xC0FFEE)), 1)[0]
+        kwargs = {}
+        if self.quality_target is not None:
+            kwargs["goal"] = self.quality_target
         process = ValidationProcess(
             scenario.answer_set,
             ScriptedExpert({i: int(lab)
@@ -305,14 +326,22 @@ class ScenarioRunner:
             handle_faulty=self.handle_faulty,
             gold=scenario.gold,
             rng=rng,
+            **kwargs,
         )
         steps: list[RecordedStep] = []
+        # All-False before the loop, so construction-time conclusions show
+        # up in the first recorded step's delta.
+        seen_concluded = np.zeros(scenario.n_objects, dtype=bool)
         while not process.is_done():
             record = process.step()
+            mask = process.session.concluded_mask
+            newly = np.flatnonzero(mask & ~seen_concluded)
+            seen_concluded = mask
             steps.append(RecordedStep(
                 object_index=int(record.object_index),
                 expert_label=int(record.expert_label),
                 masked_workers=frozenset(process.session.masked_workers),
+                concluded_objects=tuple(int(o) for o in newly),
             ))
         return process, steps
 
@@ -327,6 +356,8 @@ class ScenarioRunner:
                                    overwrite=True)
             session.set_masked_workers(step.masked_workers)
             session.conclude()
+            for obj in step.concluded_objects:
+                session.conclude_object(obj)
         return np.array(session.model.assignment)
 
     def replay_sharded(self, scenario: CompiledScenario,
@@ -345,6 +376,8 @@ class ScenarioRunner:
             if session.set_masked_workers(step.masked_workers):
                 refresher.invalidate_partition()
             refresher.refresh(session)
+            for obj in step.concluded_objects:
+                session.conclude_object(obj)
         return np.array(session.model.assignment)
 
     def replay_crash_resume(self, scenario: CompiledScenario,
@@ -400,10 +433,24 @@ class ScenarioRunner:
             session.set_masked_workers(step.masked_workers)
             store.append(state_events.conclude_event())
             session.conclude()
+            for obj in step.concluded_objects:
+                store.append(state_events.conclude_object_event(obj))
+                session.conclude_object(obj)
             store.append(state_events.step_event(index))
             if (index + 1) % self.checkpoint_every == 0:
                 store.checkpoint(session, meta={"step": index})
             index += 1
+        # The concluded mask must survive the kills exactly: every bit in
+        # the recorded union came back through checkpoint + WAL replay.
+        expected = np.zeros(scenario.n_objects, dtype=bool)
+        for step in steps:
+            expected[list(step.concluded_objects)] = True
+        if not np.array_equal(session.concluded_mask, expected):
+            raise ConformanceError(
+                f"scenario {scenario.spec.name!r}: crash/resume lost the "
+                f"quality-target concluded mask — restored "
+                f"{int(session.concluded_mask.sum())} bits, recorded "
+                f"{int(expected.sum())}")
         return np.array(session.model.assignment)
 
     def replay_under_faults(self, scenario: CompiledScenario,
@@ -513,6 +560,9 @@ class ScenarioRunner:
             store.append(state_events.mask_event(step.masked_workers))
             session.set_masked_workers(step.masked_workers)
             conclude()
+            for obj in step.concluded_objects:
+                store.append(state_events.conclude_object_event(obj))
+                session.conclude_object(obj)
             store.append(state_events.step_event(index))
             if (index + 1) % self.checkpoint_every == 0:
                 checkpoint({"step": index})

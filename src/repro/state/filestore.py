@@ -167,6 +167,8 @@ class FileSessionStore(SessionStore):
         global_arrays = {}
         if state.concluded_validated is not None:
             global_arrays["concluded_validated"] = state.concluded_validated
+        if state.concluded is not None:
+            global_arrays["concluded"] = state.concluded
         if state.assignment is not None:
             global_arrays["assignment"] = state.assignment
             global_arrays["confusions"] = state.confusions
@@ -208,6 +210,7 @@ class FileSessionStore(SessionStore):
                       else list(state.model_dims)},
             "has_concluded_validated":
                 state.concluded_validated is not None,
+            "has_concluded": state.concluded is not None,
             "counters": {"n_concludes": state.n_concludes,
                          "total_em_iterations": state.total_em_iterations,
                          "n_conflicts": state.n_conflicts},
@@ -390,7 +393,7 @@ class FileSessionStore(SessionStore):
                 f"checkpoint {directory.name} masks workers outside "
                 f"[0, {n_workers})")
 
-        concluded_validated = None
+        concluded_validated = concluded = None
         assignment = confusions = priors = None
         model_meta = manifest.get("model", {})
         model_dims = model_meta.get("dims")
@@ -398,6 +401,8 @@ class FileSessionStore(SessionStore):
             with np.load(directory / _GLOBAL, allow_pickle=False) as blob:
                 if manifest.get("has_concluded_validated"):
                     concluded_validated = blob["concluded_validated"].copy()
+                if manifest.get("has_concluded"):
+                    concluded = blob["concluded"].astype(bool).copy()
                 if manifest.get("has_model"):
                     assignment = blob["assignment"].copy()
                     confusions = blob["confusions"].copy()
@@ -419,6 +424,10 @@ class FileSessionStore(SessionStore):
                     f"{assignment.shape}/{confusions.shape}/{priors.shape} "
                     f"do not match declared dimensions")
 
+        if concluded is not None and concluded.shape != (n_objects,):
+            raise CheckpointDimensionError(
+                f"checkpoint {directory.name} concluded mask has shape "
+                f"{concluded.shape}; expected ({n_objects},)")
         counters = manifest.get("counters", {})
         return SessionState(
             n_objects=n_objects, n_workers=n_workers, n_labels=n_labels,
@@ -449,6 +458,7 @@ class FileSessionStore(SessionStore):
             total_em_iterations=int(
                 counters.get("total_em_iterations", 0)),
             n_conflicts=int(counters.get("n_conflicts", 0)),
+            concluded=concluded,
         )
 
     # ------------------------------------------------------------------

@@ -83,6 +83,11 @@ class SessionState:
     total_em_iterations: int = 0
     n_conflicts: int = 0
 
+    # Quality-target concluded mask (``None`` ⇔ no object concluded —
+    # the normalized form, so checkpoints written before the mask existed
+    # load identically to a fresh all-False mask without a schema bump).
+    concluded: np.ndarray | None = None
+
     schema_version: int = field(default=STATE_SCHEMA_VERSION)
 
     @property
@@ -120,7 +125,7 @@ class SessionState:
             return False
         array_fields = ("log_objects", "log_workers", "log_labels",
                         "validated", "concluded_validated", "assignment",
-                        "confusions", "priors")
+                        "confusions", "priors", "concluded")
         return all(arr_eq(getattr(self, f), getattr(other, f))
                    for f in array_fields)
 
@@ -163,6 +168,8 @@ def capture_session(session) -> SessionState:
         n_concludes=session.n_concludes,
         total_em_iterations=session.total_em_iterations,
         n_conflicts=session.n_conflicts,
+        concluded=session._concluded.copy()
+        if session._concluded.any() else None,
     )
 
 
@@ -203,6 +210,8 @@ def restore_session(state: SessionState) -> "ValidationSession":
     session._concluded_validated = None \
         if state.concluded_validated is None \
         else state.concluded_validated.copy()
+    if state.concluded is not None:
+        session._concluded = state.concluded.astype(bool).copy()
     session._dirty = set(state.dirty)
     session.n_concludes = state.n_concludes
     session.total_em_iterations = state.total_em_iterations

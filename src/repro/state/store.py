@@ -34,7 +34,7 @@ from repro.state.snapshot import SessionState
 
 #: WAL record kinds understood by :func:`replay_events`.
 EVENT_KINDS = ("answer", "validation", "retract", "mask", "grow",
-               "conclude", "step")
+               "conclude", "conclude-object", "step")
 
 
 @dataclass(frozen=True)
@@ -122,6 +122,14 @@ def conclude_event() -> dict:
     return {"kind": "conclude"}
 
 
+def conclude_object_event(obj: int, *, revoke: bool = False) -> dict:
+    """A quality target concluded (or revoked) one object's early stop."""
+    record = {"kind": "conclude-object", "object": int(obj)}
+    if revoke:
+        record["revoke"] = True
+    return record
+
+
 def step_event(step: int) -> dict:
     return {"kind": "step", "step": int(step)}
 
@@ -157,6 +165,9 @@ def replay_events(session, records) -> tuple[int, int | None]:
                          n_workers=record.get("n_workers"))
         elif kind == "conclude":
             session.conclude()
+        elif kind == "conclude-object":
+            session.conclude_object(record["object"],
+                                    revoke=record.get("revoke", False))
         elif kind == "step":
             last_step = int(record["step"])
         else:

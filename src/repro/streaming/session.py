@@ -139,6 +139,13 @@ class ValidationSession:
         self._concluded_validated: np.ndarray | None = None
         self._dirty: set[int] = set()
 
+        # Per-object concluded mask (CDAS-style quality targets): objects
+        # whose posterior cleared a confidence target and left the
+        # guidance frontier. Maintained only through conclude_object —
+        # refinements never touch it (hysteresis: un-concluding requires
+        # an explicit revoke).
+        self._concluded = np.zeros(n_objects, dtype=bool)
+
         # Delta-maintained per-object log-likelihood rows under the current
         # model (read path); rebuilt lazily after each refinement.
         self._log_like: np.ndarray | None = None
@@ -231,6 +238,16 @@ class ValidationSession:
         return self._stats.masked_workers
 
     @property
+    def concluded_mask(self) -> np.ndarray:
+        """Copy of the per-object concluded mask (see :meth:`conclude_object`)."""
+        return self._concluded.copy()
+
+    @property
+    def n_concluded(self) -> int:
+        """Objects currently marked concluded."""
+        return int(np.count_nonzero(self._concluded))
+
+    @property
     def dirty_objects(self) -> frozenset[int]:
         """Objects whose statistics changed since the last refinement."""
         dirty = set(self._dirty)
@@ -297,6 +314,9 @@ class ValidationSession:
                 validation.assign(index, label)
             self._validation = validation
             self._dirty.update(range(old_n, self.n_objects))
+            grown_concluded = np.zeros(self.n_objects, dtype=bool)
+            grown_concluded[:old_n] = self._concluded
+            self._concluded = grown_concluded
         if self.n_workers > old_k:
             grown = np.zeros((self.n_workers, self.n_labels, self.n_labels),
                              dtype=np.int64)
@@ -395,6 +415,27 @@ class ValidationSession:
             np.add.at(self._vconf, (workers, previous, answered), -1)
             self._vconf_sync[obj] = MISSING
             self._dirty.add(obj)
+
+    def conclude_object(self, obj: int, *, revoke: bool = False) -> bool:
+        """Mark ``obj`` as concluded (or un-conclude it with ``revoke=True``).
+
+        A concluded object's posterior cleared a quality target's
+        confidence bound; guidance prunes it from the candidate frontier.
+        The mark is *sticky* — later refinements dipping back under the
+        bound do not clear it (hysteresis) — so the frontier only shrinks
+        unless a caller explicitly revokes. Returns whether the bit
+        changed. The mask never affects refinement results, only
+        selection and stopping.
+        """
+        obj = int(obj)
+        if not 0 <= obj < self.n_objects:
+            raise InvalidValidationError(
+                f"object index {obj} outside [0, {self.n_objects})")
+        target = not revoke
+        if bool(self._concluded[obj]) == target:
+            return False
+        self._concluded[obj] = target
+        return True
 
     def set_masked_workers(self, workers: Iterable[int]) -> frozenset[int]:
         """Exclude (or re-include) workers' answers from aggregation (§5.3).

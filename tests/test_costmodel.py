@@ -15,6 +15,8 @@ from repro.costmodel import (
     ev_cost_curve,
     ev_cost_per_object,
     ev_total_cost,
+    frontier_entropies,
+    route_budget,
     split_budget,
     wo_cost_curve,
     wo_total_cost,
@@ -153,3 +155,81 @@ class TestAllocation:
     def test_empty_points_rejected(self):
         with pytest.raises(CostModelError):
             best_allocation([])
+
+    def test_capped_crowd_budget_rolls_over_to_expert(self, pool_crowd):
+        """Regression: budget stranded by the φ₀ cap must buy validations.
+
+        With ρ·θ = 30 > 24 answers per object, a crowd share of 1.0
+        affords φ₀ = 30 but the campaign only holds 24 — the stranded
+        (30 − 24)·n units previously evaporated, reporting zero expert
+        validations despite an unspent budget. They now roll over at rate
+        θ into expert effort.
+        """
+        points = allocation_curve(pool_crowd, rho=1.0, theta=30,
+                                  shares=[1.0], rng=6)
+        assert len(points) == 1
+        point = points[0]
+        assert point.phi0 == 24  # capped to what the campaign holds
+        # (30 - 24) * 40 / 30 = 8 validations' worth of stranded budget.
+        assert point.n_validations == 8
+
+    def test_uncapped_full_crowd_share_still_zero_validations(
+            self, pool_crowd):
+        points = allocation_curve(pool_crowd, rho=0.4, theta=25,
+                                  shares=[1.0], rng=6)
+        assert points[0].n_validations == 0
+
+
+class TestRouteBudget:
+    @staticmethod
+    def _session(crowd, n_validated=0, concluded=()):
+        from repro.streaming.session import ValidationSession
+        session = ValidationSession.from_answer_set(crowd.answer_set)
+        session.conclude()
+        for obj in range(n_validated):
+            session.add_validation(obj, int(crowd.gold[obj]))
+        for obj in concluded:
+            session.conclude_object(obj)
+        return session
+
+    def test_frontier_excludes_validated_and_concluded(self, pool_crowd):
+        session = self._session(pool_crowd, n_validated=5,
+                                concluded=(10, 11, 12))
+        gains = frontier_entropies(session)
+        assert gains.size == 40 - 5 - 3
+        assert np.all(np.diff(gains) <= 0)  # descending
+
+    def test_routes_toward_uncertain_frontier(self, pool_crowd):
+        open_session = self._session(pool_crowd)
+        drained = self._session(pool_crowd,
+                                concluded=range(40))  # fully concluded
+        route = route_budget([open_session, drained], total_budget=6)
+        assert route.allocations == (6, 0)
+        assert route.spent == 6
+
+    def test_budget_larger_than_frontiers(self, pool_crowd):
+        session = self._session(pool_crowd, n_validated=38)
+        route = route_budget([session], total_budget=10)
+        assert route.allocations == (2,)
+        assert route.spent == 2
+
+    def test_greedy_matches_descending_gain_order(self, pool_crowd):
+        a = self._session(pool_crowd)
+        b = self._session(pool_crowd, n_validated=20)
+        budget = 7
+        route = route_budget([a, b], budget)
+        # The greedy objective equals taking the budget highest gains
+        # from the merged pool — exchange-argument optimality.
+        merged = np.sort(np.concatenate([frontier_entropies(a),
+                                         frontier_entropies(b)]))[::-1]
+        assert route.expected_gain == pytest.approx(float(merged[:budget].sum()))
+        assert sum(route.allocations) == budget
+
+    def test_deterministic_and_validated(self, pool_crowd):
+        session = self._session(pool_crowd)
+        first = route_budget([session, session], 5)
+        second = route_budget([session, session], 5)
+        assert first == second
+        with pytest.raises(CostModelError):
+            route_budget([session], -1)
+        assert route_budget([], 5).spent == 0

@@ -1,0 +1,406 @@
+"""Quality targets end to end: goal, mask, pruning, persistence, routing.
+
+The :class:`~repro.process.goals.QualityTarget` goal concludes objects
+whose posterior clears a confidence threshold, records the conclusions in
+the session's persistent concluded mask (WAL ``conclude-object`` events,
+checkpointed alongside the model), and prunes concluded objects from every
+guidance strategy's candidate frontier. The contracts pinned here:
+
+* conclusions are sticky (hysteresis) and revocable only explicitly;
+* the mask survives capture/restore, the on-disk store, and kills
+  (checkpoint + WAL-tail replay) bit-exactly;
+* with no object concluded, frontier pruning is invisible — every
+  strategy's selection is bit-identical to the mask-free path (property
+  tested across random answer sets);
+* with targets enabled, batch and streaming replay stay conformant and
+  the batch run stops early;
+* :func:`~repro.costmodel.route_budget` steers freed budget toward the
+  sessions whose frontiers are still uncertain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answer_set import AnswerSet
+from repro.core.iem import IncrementalEM
+from repro.core.validation import ExpertValidation
+from repro.errors import GoalError, InvalidValidationError
+from repro.experts.simulated import OracleExpert
+from repro.guidance import (
+    GuidanceContext,
+    HybridStrategy,
+    InformationGainStrategy,
+    MaxEntropyStrategy,
+    WorkerDrivenStrategy,
+)
+from repro.process import (
+    NeverSatisfied,
+    PrecisionReached,
+    QualityTarget,
+    ValidationProcess,
+    iter_goals,
+)
+from repro.scenarios import ScenarioRunner, compile_registered
+from repro.state import FileSessionStore, MemorySessionStore
+from repro.state import store as state_events
+from repro.streaming import ValidationSession
+from repro.workers.spammer_detection import SpammerDetector
+
+
+def _session(answer_set) -> ValidationSession:
+    session = ValidationSession.from_answer_set(answer_set)
+    session.conclude()
+    return session
+
+
+class TestQualityTargetGoal:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="confidence"):
+            QualityTarget(0.5)
+        with pytest.raises(ValueError, match="confidence"):
+            QualityTarget(1.1)
+        with pytest.raises(ValueError, match="min_coverage"):
+            QualityTarget(0.9, min_coverage=0.0)
+        with pytest.raises(ValueError, match="min_coverage"):
+            QualityTarget(0.9, min_coverage=1.5)
+
+    def test_newly_concluded_threshold(self):
+        target = QualityTarget(0.9)
+        assignment = np.array([[0.95, 0.05], [0.6, 0.4], [0.1, 0.9]])
+        concluded = np.zeros(3, dtype=bool)
+        assert target.newly_concluded(assignment, concluded).tolist() == [0, 2]
+
+    def test_already_concluded_objects_not_re_reported(self):
+        target = QualityTarget(0.9)
+        assignment = np.array([[0.95, 0.05], [0.92, 0.08]])
+        concluded = np.array([True, False])
+        assert target.newly_concluded(assignment, concluded).tolist() == [1]
+
+    def test_threshold_robust_to_float_noise(self):
+        # 0.9 is not exactly representable; a posterior of 0.9 must count.
+        target = QualityTarget(0.9)
+        assignment = np.array([[1.0 - 0.1, 0.1]])
+        concluded = np.zeros(1, dtype=bool)
+        assert target.newly_concluded(assignment, concluded).size == 1
+
+
+class TestSessionConcludedMask:
+    def test_conclude_and_revoke(self, small_crowd):
+        session = _session(small_crowd.answer_set)
+        assert session.n_concluded == 0
+        assert session.conclude_object(3) is True
+        assert session.conclude_object(3) is False  # already concluded
+        assert session.n_concluded == 1
+        assert session.concluded_mask[3]
+        assert session.conclude_object(3, revoke=True) is True
+        assert session.conclude_object(3, revoke=True) is False
+        assert session.n_concluded == 0
+
+    def test_bounds_checked(self, small_crowd):
+        session = _session(small_crowd.answer_set)
+        with pytest.raises(InvalidValidationError):
+            session.conclude_object(-1)
+        with pytest.raises(InvalidValidationError):
+            session.conclude_object(session.n_objects)
+
+    def test_mask_property_is_a_copy(self, small_crowd):
+        session = _session(small_crowd.answer_set)
+        session.conclude_object(0)
+        mask = session.concluded_mask
+        mask[0] = False
+        assert session.concluded_mask[0]
+
+    def test_grow_preserves_and_extends_mask(self, small_crowd):
+        session = _session(small_crowd.answer_set)
+        session.conclude_object(2)
+        old_n = session.n_objects
+        session.grow(n_objects=old_n + 5)
+        mask = session.concluded_mask
+        assert mask.size == old_n + 5
+        assert mask[2]
+        assert not mask[old_n:].any()
+
+    def test_capture_restore_roundtrip(self, small_crowd):
+        session = _session(small_crowd.answer_set)
+        session.conclude_object(1)
+        session.conclude_object(7)
+        restored = session.capture_state().restore()
+        assert np.array_equal(restored.concluded_mask,
+                              session.concluded_mask)
+        assert restored.capture_state().equals(session.capture_state())
+
+    def test_empty_mask_normalizes_to_none(self, small_crowd):
+        # All-False masks are persisted as None, so checkpoints written
+        # before the mask existed load identically to fresh sessions.
+        session = _session(small_crowd.answer_set)
+        assert session.capture_state().concluded is None
+        session.conclude_object(0)
+        assert session.capture_state().concluded is not None
+        session.conclude_object(0, revoke=True)
+        assert session.capture_state().concluded is None
+
+
+class TestConcludedPersistence:
+    def test_file_store_roundtrip(self, small_crowd, tmp_path):
+        session = _session(small_crowd.answer_set)
+        session.conclude_object(4)
+        session.conclude_object(9)
+        store = FileSessionStore(tmp_path)
+        store.checkpoint(session)
+        restored = store.restore().session
+        assert np.array_equal(restored.concluded_mask,
+                              session.concluded_mask)
+
+    def test_wal_replay_restores_mask(self, small_crowd):
+        store = MemorySessionStore()
+        session = _session(small_crowd.answer_set)
+        store.checkpoint(session)
+        # Conclusions arrive only after the checkpoint: WAL tail territory.
+        for obj in (2, 5, 2):  # duplicate is a no-op, must replay cleanly
+            store.append(state_events.conclude_object_event(obj))
+            session.conclude_object(obj)
+        store.append(state_events.conclude_object_event(5, revoke=True))
+        session.conclude_object(5, revoke=True)
+        restored = store.restore().session
+        assert np.array_equal(restored.concluded_mask,
+                              session.concluded_mask)
+        assert restored.concluded_mask[2] and not restored.concluded_mask[5]
+
+    def test_mask_survives_kill(self, small_crowd, tmp_path):
+        """Crash/resume: the mask comes back through checkpoint + WAL."""
+        store = FileSessionStore(tmp_path)
+        session = _session(small_crowd.answer_set)
+        session.conclude_object(1)
+        store.append(state_events.conclude_object_event(1))
+        store.checkpoint(session)  # mask bit 1 in the checkpoint
+        store.append(state_events.conclude_object_event(6))
+        session.conclude_object(6)  # mask bit 6 only in the WAL tail
+        expected = session.concluded_mask
+        del session  # the crash
+        restored = store.restore().session
+        assert np.array_equal(restored.concluded_mask, expected)
+        assert restored.concluded_mask[1] and restored.concluded_mask[6]
+
+    def test_old_checkpoints_without_mask_still_load(self, small_crowd,
+                                                     tmp_path):
+        # A store written by a maskless session produces has_concluded
+        # False; restore yields an all-False mask, not an error.
+        store = FileSessionStore(tmp_path)
+        session = _session(small_crowd.answer_set)
+        store.checkpoint(session)
+        restored = store.restore().session
+        assert not restored.concluded_mask.any()
+
+
+class TestProcessQualityTargets:
+    def _process(self, crowd, goal, budget=30, **kwargs):
+        return ValidationProcess(
+            crowd.answer_set, OracleExpert(crowd.gold),
+            strategy=MaxEntropyStrategy(),
+            goal=goal, budget=budget, gold=crowd.gold, rng=0, **kwargs)
+
+    def test_target_stops_early_and_concludes(self, small_crowd):
+        target = QualityTarget(0.95)
+        process = self._process(small_crowd, target)
+        report = process.run()
+        assert report.goal_reached
+        assert process.session.n_concluded == small_crowd.answer_set.n_objects
+        # Early stop: strictly fewer validations than the budget allows.
+        assert report.total_effort < 30
+
+    def test_concluded_objects_pruned_from_candidates(self, small_crowd):
+        target = QualityTarget(0.95, min_coverage=1.0)
+        process = self._process(small_crowd, target)
+        while not process.is_done():
+            record = process.step()
+            # The selected object was not concluded when selection ran
+            # (unless the frontier was empty and selection fell back).
+            assert record.frontier_size > 0
+        mask = process.session.concluded_mask
+        validated = process.validation.validated_indices()
+        unconcluded_unvalidated = [
+            o for o in range(small_crowd.answer_set.n_objects)
+            if not mask[o] and o not in set(validated.tolist())]
+        assert not unconcluded_unvalidated  # goal held: everything settled
+
+    def test_frontier_shrinks_monotonically(self, small_crowd):
+        target = QualityTarget(0.9)
+        process = self._process(small_crowd, target)
+        report = process.run()
+        sizes = [r.frontier_size for r in report.records]
+        assert all(s > 0 for s in sizes)
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_disabled_targets_pass_no_mask_to_guidance(self, small_crowd):
+        process = self._process(small_crowd, NeverSatisfied(), budget=3)
+        report = process.run()
+        assert process.session.n_concluded == 0
+        # frontier_size still recorded: the full unvalidated set.
+        assert report.records[0].frontier_size == \
+            small_crowd.answer_set.n_objects
+
+    def test_min_coverage_partial_target(self, small_crowd):
+        n = small_crowd.answer_set.n_objects
+        target = QualityTarget(0.95, min_coverage=0.5)
+        process = self._process(small_crowd, target)
+        process.run()
+        assert process.session.n_concluded >= 0.5 * n
+
+    def test_conclusions_logged_to_wal(self, small_crowd):
+        store = MemorySessionStore()
+        target = QualityTarget(0.95)
+        process = self._process(small_crowd, target, store=store)
+        process.run()
+        kinds = [r["kind"] for r in store.wal_records()]
+        assert "conclude-object" in kinds
+        restored = store.restore().session
+        assert np.array_equal(restored.concluded_mask,
+                              process.session.concluded_mask)
+
+    def test_combined_goal_with_target(self, small_crowd):
+        goal = QualityTarget(0.99) | PrecisionReached(1.0)
+        process = self._process(small_crowd, goal)
+        assert len(process._quality_targets) == 1
+        report = process.run()
+        assert report.goal_reached
+
+    def test_iter_goals_walks_nested_trees(self):
+        goal = (QualityTarget(0.9) & NeverSatisfied()) | PrecisionReached(1.0)
+        leaves = [type(g).__name__ for g in iter_goals(goal)]
+        assert leaves == ["QualityTarget", "NeverSatisfied",
+                          "PrecisionReached"]
+
+
+class TestCombinedGoalShortCircuit:
+    """Pin the documented left-to-right short-circuit order of `&`/`|`."""
+
+    class _Exploding(NeverSatisfied):
+        def satisfied(self, process):
+            raise AssertionError("goal must not be evaluated")
+
+    class _Always(NeverSatisfied):
+        def satisfied(self, process):
+            return True
+
+    def test_satisfied_disjunct_short_circuits(self, small_crowd):
+        goal = self._Always() | self._Exploding()
+        process = ValidationProcess(
+            small_crowd.answer_set, OracleExpert(small_crowd.gold),
+            strategy=MaxEntropyStrategy(), goal=goal,
+            gold=small_crowd.gold, rng=0)
+        assert goal.satisfied(process) is True
+
+    def test_failed_conjunct_short_circuits(self, small_crowd):
+        goal = NeverSatisfied() & self._Exploding()
+        process = ValidationProcess(
+            small_crowd.answer_set, OracleExpert(small_crowd.gold),
+            strategy=MaxEntropyStrategy(), goal=goal,
+            gold=small_crowd.gold, rng=0)
+        assert goal.satisfied(process) is False
+
+    def test_left_operand_evaluated_first(self, small_crowd):
+        goal = self._Exploding() | self._Always()
+        process = ValidationProcess(
+            small_crowd.answer_set, OracleExpert(small_crowd.gold),
+            strategy=MaxEntropyStrategy(), goal=goal,
+            gold=small_crowd.gold, rng=0)
+        with pytest.raises(AssertionError, match="must not be evaluated"):
+            goal.satisfied(process)
+
+
+def _strategies():
+    return [
+        MaxEntropyStrategy(),
+        InformationGainStrategy(candidate_limit=4),
+        WorkerDrivenStrategy(candidate_limit=4),
+        HybridStrategy(),
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10 ** 6), n_objects=st.integers(4, 10),
+       n_workers=st.integers(3, 6))
+def test_all_false_mask_is_bit_identical_to_no_mask(seed, n_objects,
+                                                    n_workers):
+    """Property: with no object concluded, pruning must be invisible.
+
+    Every strategy's selection under an explicit all-False mask equals the
+    selection under ``concluded=None`` exactly — same object, same
+    sub-strategy — across random answer sets and tie-break seeds.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 2, size=(n_objects, n_workers))
+    answer_set = AnswerSet(matrix, labels=("T", "F"))
+    aggregator = IncrementalEM()
+    prob_set = aggregator.conclude(
+        answer_set, ExpertValidation.empty_for(answer_set))
+    for strategy in _strategies():
+        contexts = []
+        for concluded in (None, np.zeros(n_objects, dtype=bool)):
+            contexts.append(GuidanceContext(
+                prob_set=prob_set, aggregator=aggregator,
+                detector=SpammerDetector(),
+                rng=np.random.default_rng(seed + 1),
+                hybrid_weight=0.5, concluded=concluded))
+        bare, masked = (strategy.select(c) for c in contexts)
+        assert bare == masked, type(strategy).__name__
+
+
+class TestScenarioConformanceWithTargets:
+    def test_disabled_targets_record_no_conclusions(self):
+        runner = ScenarioRunner()
+        scenario = compile_registered("reliability-drift")
+        _, steps = runner.run_batch(scenario, "exact")
+        assert all(step.concluded_objects == () for step in steps)
+
+    def test_enabled_targets_stay_conformant(self):
+        """Batch ↔ streaming ↔ resume ↔ faults all L∞ = 0 with targets on."""
+        runner = ScenarioRunner(quality_target=QualityTarget(0.95))
+        outcome = runner.run(compile_registered("reliability-drift"),
+                             "exact", check=True)
+        assert outcome.streaming_divergence.max_abs_posterior_gap == 0.0
+        assert outcome.resume_divergence.max_abs_posterior_gap == 0.0
+
+    def test_enabled_targets_shrink_effort(self):
+        scenario_name = "label-skew"
+        static = ScenarioRunner()
+        targeted = ScenarioRunner(quality_target=QualityTarget(0.9))
+        _, static_steps = static.run_batch(
+            compile_registered(scenario_name), "exact")
+        _, targeted_steps = targeted.run_batch(
+            compile_registered(scenario_name), "exact")
+        assert len(targeted_steps) <= len(static_steps)
+        assert any(step.concluded_objects for step in targeted_steps)
+
+    def test_crash_resume_restores_mask(self):
+        runner = ScenarioRunner(quality_target=QualityTarget(0.95),
+                                n_kills=3, checkpoint_every=2)
+        scenario = compile_registered("sleeper-spammers")
+        process, steps = runner.run_batch(scenario, "exact")
+        streaming = runner.replay_streaming(scenario, steps, process.session)
+        # replay_crash_resume raises ConformanceError itself if the mask
+        # diverges from the recorded union; the posteriors must also match.
+        resumed = runner.replay_crash_resume(scenario, steps,
+                                             process.session)
+        assert float(np.max(np.abs(streaming - resumed))) == 0.0
+
+
+class TestGoalErrorAtConstruction:
+    def test_precision_goal_without_gold_fails_fast(self, small_crowd):
+        with pytest.raises(GoalError, match="gold"):
+            ValidationProcess(
+                small_crowd.answer_set, OracleExpert(small_crowd.gold),
+                strategy=MaxEntropyStrategy(), goal=PrecisionReached(1.0),
+                rng=0)
+
+    def test_goal_error_outside_process_still_raised(self, small_crowd):
+        process = ValidationProcess(
+            small_crowd.answer_set, OracleExpert(small_crowd.gold),
+            strategy=MaxEntropyStrategy(), gold=small_crowd.gold, rng=0)
+        process.gold = None  # simulate evaluation without gold
+        with pytest.raises(GoalError, match="gold"):
+            PrecisionReached(1.0).satisfied(process)

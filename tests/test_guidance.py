@@ -203,3 +203,86 @@ class TestSelection:
         b = Selection(object_index=1, strategy="x",
                       scores=np.array([2.0]))
         assert a == b
+
+
+class TestArgmaxGuards:
+    """Regression tests for the NaN / tie-band fixes in argmax_with_ties."""
+
+    def test_nan_scores_raise_typed_error(self):
+        scores = np.array([0.5, float("nan"), 0.3])
+        candidates = np.array([4, 7, 9])
+        with pytest.raises(GuidanceError, match="NaN"):
+            argmax_with_ties(scores, candidates)
+
+    def test_nan_error_names_the_offending_objects(self):
+        scores = np.array([0.5, float("nan")])
+        candidates = np.array([4, 7])
+        with pytest.raises(GuidanceError, match=r"objects \[7\]"):
+            argmax_with_ties(scores, candidates, np.random.default_rng(0))
+
+    def test_empty_scores_raise_typed_error(self):
+        with pytest.raises(GuidanceError, match="no scores"):
+            argmax_with_ties(np.array([]), np.array([], dtype=int))
+
+    def test_all_nan_raises_not_index_error(self):
+        # Pre-fix: np.flatnonzero(scores >= nan band) was empty and
+        # tied[0] blew up with an opaque IndexError.
+        scores = np.full(3, np.nan)
+        with pytest.raises(GuidanceError):
+            argmax_with_ties(scores, np.arange(3))
+
+    def test_tie_band_is_scale_relative(self):
+        # 1e6 and 1e6 − 1e-8 are equal up to float noise at this scale;
+        # the absolute 1e-12 band used to split them, so the random tie
+        # break never saw the second candidate.
+        scores = np.array([1e6, 1e6 - 1e-8, 0.0])
+        candidates = np.array([10, 20, 30])
+        picks = {argmax_with_ties(scores, candidates,
+                                  np.random.default_rng(seed))
+                 for seed in range(40)}
+        assert picks == {10, 20}
+
+    def test_small_scale_band_unchanged(self):
+        # At |best| <= 1 the band is still exactly 1e-12: clearly distinct
+        # small scores must not collapse into a tie.
+        scores = np.array([1e-3, 1e-3 - 1e-6])
+        candidates = np.array([1, 2])
+        picks = {argmax_with_ties(scores, candidates,
+                                  np.random.default_rng(seed))
+                 for seed in range(20)}
+        assert picks == {1}
+
+
+class TestStableTopKPruning:
+    """Regression tests: boundary ties in top-K pruning keep lowest index."""
+
+    @staticmethod
+    def _uniform_answer_set(n_objects=8, n_workers=5):
+        # Every object has the identical answer pattern, so entropies and
+        # coverages tie exactly across all objects.
+        row = np.array([0, 1, 0, 1, 1])[:n_workers]
+        from repro.core.answer_set import AnswerSet
+        return AnswerSet(np.tile(row, (n_objects, 1)), labels=("T", "F"))
+
+    def test_information_gain_prunes_lowest_indices_on_ties(self):
+        answer_set = self._uniform_answer_set()
+        context = make_context(answer_set)
+        strategy = InformationGainStrategy(candidate_limit=3)
+        selection = strategy.select(context)
+        # Pre-fix np.argsort(x)[::-1][:K] kept the HIGHEST indices {5,6,7}.
+        assert selection.candidate_indices.tolist() == [0, 1, 2]
+
+    def test_worker_driven_prunes_lowest_indices_on_ties(self):
+        answer_set = self._uniform_answer_set()
+        context = make_context(answer_set)
+        strategy = WorkerDrivenStrategy(candidate_limit=4)
+        selection = strategy.select(context)
+        assert selection.candidate_indices.tolist() == [0, 1, 2, 3]
+
+    def test_pruned_set_deterministic_across_runs(self, small_crowd):
+        strategy = InformationGainStrategy(candidate_limit=5)
+        sets = []
+        for _ in range(3):
+            context = make_context(small_crowd.answer_set)
+            sets.append(strategy.select(context).candidate_indices.tolist())
+        assert sets[0] == sets[1] == sets[2]

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.answer_set import AnswerSet
-from repro.errors import BudgetExhaustedError, GuidanceError
+from repro.errors import BudgetExhaustedError, GoalError, GuidanceError
 from repro.experts.simulated import NoisyExpert, OracleExpert
 from repro.guidance import (
     HybridStrategy,
@@ -55,12 +55,20 @@ class TestDynamicWeight:
 
 class TestGoals:
     def test_precision_goal_requires_gold(self, small_crowd):
-        process = ValidationProcess(
-            small_crowd.answer_set, OracleExpert(small_crowd.gold),
-            strategy=MaxEntropyStrategy(), goal=PrecisionReached(1.0),
-            rng=0)  # no gold passed
-        with pytest.raises(ValueError, match="gold"):
-            process.is_done()
+        # The misconfiguration surfaces at construction, not mid-loop.
+        with pytest.raises(GoalError, match="gold"):
+            ValidationProcess(
+                small_crowd.answer_set, OracleExpert(small_crowd.gold),
+                strategy=MaxEntropyStrategy(), goal=PrecisionReached(1.0),
+                rng=0)  # no gold passed
+
+    def test_precision_goal_requires_gold_inside_combined_goal(
+            self, small_crowd):
+        goal = NeverSatisfied() | (PrecisionReached(1.0) & AllValidated())
+        with pytest.raises(GoalError, match="PrecisionReached"):
+            ValidationProcess(
+                small_crowd.answer_set, OracleExpert(small_crowd.gold),
+                strategy=MaxEntropyStrategy(), goal=goal, rng=0)
 
     def test_uncertainty_goal(self, small_crowd):
         process = ValidationProcess(
