@@ -12,6 +12,13 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running scale tiers (n=500k), run behind the CI "
+        "nightly/manual -m slow trigger")
+
+
 @pytest.fixture
 def report_result(request):
     """Print an ExperimentResult table after the benchmark."""

@@ -45,6 +45,29 @@ DEFAULT_TOL = 1e-4
 #: Default cap on EM iterations.
 DEFAULT_MAX_ITER = 100
 
+#: Largest value an ``int32`` index may take; the width-adaptive dtype
+#: machinery narrows every index array whose *flat* bound stays under it.
+INT32_BOUND = int(np.iinfo(np.int32).max)
+
+
+def index_dtype(n_objects: int, n_workers: int, n_labels: int,
+                n_answers: int = 0) -> np.dtype:
+    """Narrowest safe index dtype for an encoding of these dimensions.
+
+    The kernel's flat gather/scatter indices range over ``n·m`` (raveled
+    assignment), ``k·m·m`` (raveled confusion stack), and ``A`` (answer
+    positions), so ``int32`` is valid exactly when every one of those
+    bounds fits — validated here, at build time, rather than trusted.
+    Dimensions beyond the bound (or answer logs past 2³¹ entries) widen
+    to ``int64``. Halving index width roughly halves the working set of
+    a :class:`KernelPlan`, which is what keeps the 10⁵–10⁶-object tiers
+    cache-resident (see ``benchmarks/test_scale_tiers.py``).
+    """
+    bound = max(int(n_objects) * int(n_labels),
+                int(n_workers) * int(n_labels) * int(n_labels),
+                int(n_objects), int(n_workers), int(n_answers))
+    return np.dtype(np.int32 if bound <= INT32_BOUND else np.int64)
+
 
 @dataclass(frozen=True)
 class EncodedAnswers:
@@ -62,25 +85,34 @@ class EncodedAnswers:
         return int(self.object_index.size)
 
     def __getstate__(self) -> dict:
-        # The memoized kernel plan (see kernel_plan) doubles the pickled
-        # payload of every process-executor task; workers re-derive it
-        # from the same memoization in one pass, so never ship it.
+        # The memoized kernel plan and CSR view (see kernel_plan /
+        # csr_view) double the pickled payload of every process-executor
+        # task; workers re-derive them from the same memoization in one
+        # pass, so never ship them.
         state = self.__dict__.copy()
         state.pop("_kernel_plan", None)
+        state.pop("_csr_view", None)
         return state
 
 
 def encode_answers(answer_set: AnswerSet) -> EncodedAnswers:
-    """Flatten an :class:`~repro.core.answer_set.AnswerSet` for the kernel."""
+    """Flatten an :class:`~repro.core.answer_set.AnswerSet` for the kernel.
+
+    Index arrays carry the narrowest safe dtype (:func:`index_dtype`):
+    ``int32`` for every realistically sized campaign, ``int64`` beyond
+    the 2³¹ flat-index bound.
+    """
     matrix = answer_set.matrix
     obj, wrk = np.nonzero(matrix != MISSING)
+    dtype = index_dtype(answer_set.n_objects, answer_set.n_workers,
+                        answer_set.n_labels, obj.size)
     return EncodedAnswers(
         n_objects=answer_set.n_objects,
         n_workers=answer_set.n_workers,
         n_labels=answer_set.n_labels,
-        object_index=obj,
-        worker_index=wrk,
-        label_index=matrix[obj, wrk],
+        object_index=np.ascontiguousarray(obj, dtype=dtype),
+        worker_index=np.ascontiguousarray(wrk, dtype=dtype),
+        label_index=np.ascontiguousarray(matrix[obj, wrk], dtype=dtype),
     )
 
 
@@ -138,20 +170,138 @@ def kernel_plan(encoded: EncodedAnswers) -> KernelPlan:
     plan = encoded.__dict__.get("_kernel_plan")
     if plan is None:
         m = encoded.n_labels
-        rows = np.arange(m, dtype=np.int64)[:, None]
-        conf_gather = ((encoded.worker_index[None, :] * m + rows) * m
-                       + encoded.label_index[None, :])
-        assign_gather = encoded.object_index[None, :] * m + rows
+        # Width-adaptive flat indices: the gather values range over k·m·m
+        # and n·m, so every operand is cast to the validated index dtype
+        # *before* the arithmetic — computing in int32 when the flat
+        # bound exceeds 2³¹ would overflow silently, and mixing an int32
+        # encoding with int64 rows would silently widen the whole plan.
+        dtype = index_dtype(encoded.n_objects, encoded.n_workers,
+                            encoded.n_labels, encoded.n_answers)
+        worker_index = encoded.worker_index.astype(dtype, copy=False)
+        label_index = encoded.label_index.astype(dtype, copy=False)
+        object_index = np.ascontiguousarray(
+            encoded.object_index.astype(dtype, copy=False))
+        rows = np.arange(m, dtype=dtype)[:, None]
+        conf_gather = ((worker_index[None, :] * m + rows) * m
+                       + label_index[None, :])
+        assign_gather = object_index[None, :] * m + rows
         plan = KernelPlan(
             n_objects=encoded.n_objects,
             n_workers=encoded.n_workers,
             n_labels=encoded.n_labels,
-            object_index=encoded.object_index,
+            object_index=object_index,
             conf_gather=np.ascontiguousarray(conf_gather),
             assign_gather=np.ascontiguousarray(assign_gather),
         )
         object.__setattr__(encoded, "_kernel_plan", plan)
     return plan
+
+
+# ----------------------------------------------------------------------
+# CSR segment views (per-object and per-worker answer neighborhoods)
+# ----------------------------------------------------------------------
+class EncodingCSR:
+    """Lazy CSR segment views over one encoding epoch.
+
+    The per-object and per-worker neighborhood structures that
+    :func:`object_segment_starts` and ad-hoc ``argsort``/``searchsorted``
+    pairs used to half-build in three different places (guidance
+    look-aheads, :class:`repro.streaming.ShardedRefresher` block payloads,
+    session read paths) live here, built **once per encoding epoch** and
+    memoized on the encoding itself via :func:`csr_view`:
+
+    ``object_starts``
+        Length ``n + 1`` segment boundaries; the answers of object ``o``
+        occupy positions ``object_starts[o]:object_starts[o + 1]`` of the
+        (object-sorted) encoding. This is the CSR ``indptr`` of the
+        object → answer adjacency.
+    ``worker_order`` / ``worker_starts``
+        A stable argsort of ``worker_index`` plus its segment boundaries:
+        ``worker_order[worker_starts[w]:worker_starts[w + 1]]`` are the
+        answer positions of worker ``w``, in ascending answer order
+        (stability guarantees it). Together they are the CSR transpose —
+        the worker → answer adjacency — without materializing per-worker
+        copies of the triple arrays.
+
+    Every array carries the encoding's width-adaptive index dtype
+    (:func:`index_dtype`), and each is built lazily on first touch so
+    callers that only need one side of the adjacency never pay for the
+    other.
+    """
+
+    __slots__ = ("_encoded", "_object_starts", "_worker_order",
+                 "_worker_starts")
+
+    def __init__(self, encoded: EncodedAnswers) -> None:
+        self._encoded = encoded
+        self._object_starts: np.ndarray | None = None
+        self._worker_order: np.ndarray | None = None
+        self._worker_starts: np.ndarray | None = None
+
+    def _index_dtype(self) -> np.dtype:
+        encoded = self._encoded
+        return index_dtype(encoded.n_objects, encoded.n_workers,
+                           encoded.n_labels, encoded.n_answers)
+
+    @property
+    def encoded(self) -> EncodedAnswers:
+        return self._encoded
+
+    @property
+    def object_starts(self) -> np.ndarray:
+        """Per-object segment boundaries (CSR indptr), length ``n + 1``."""
+        if self._object_starts is None:
+            encoded = self._encoded
+            self._object_starts = np.searchsorted(
+                encoded.object_index,
+                np.arange(encoded.n_objects + 1),
+            ).astype(self._index_dtype(), copy=False)
+        return self._object_starts
+
+    @property
+    def worker_order(self) -> np.ndarray:
+        """Answer positions stably sorted by worker (CSR transpose data)."""
+        if self._worker_order is None:
+            self._worker_order = np.argsort(
+                self._encoded.worker_index, kind="stable",
+            ).astype(self._index_dtype(), copy=False)
+        return self._worker_order
+
+    @property
+    def worker_starts(self) -> np.ndarray:
+        """Per-worker boundaries into ``worker_order``, length ``k + 1``."""
+        if self._worker_starts is None:
+            encoded = self._encoded
+            self._worker_starts = np.searchsorted(
+                encoded.worker_index[self.worker_order],
+                np.arange(encoded.n_workers + 1),
+            ).astype(self._index_dtype(), copy=False)
+        return self._worker_starts
+
+    def object_slice(self, obj: int) -> slice:
+        """Contiguous position range of object ``obj``'s answers."""
+        starts = self.object_starts
+        return slice(int(starts[obj]), int(starts[obj + 1]))
+
+    def worker_positions(self, worker: int) -> np.ndarray:
+        """Answer positions of ``worker``, ascending (a view, not a copy)."""
+        starts = self.worker_starts
+        return self.worker_order[int(starts[worker]):int(starts[worker + 1])]
+
+
+def csr_view(encoded: EncodedAnswers) -> EncodingCSR:
+    """The (memoized) :class:`EncodingCSR` for an encoding.
+
+    Like :func:`kernel_plan`, the view is cached on the ``EncodedAnswers``
+    instance, so the guidance look-aheads, the sharded refresher, and the
+    streaming session all share one set of segment arrays per encoding
+    epoch instead of each rebuilding their own.
+    """
+    view = encoded.__dict__.get("_csr_view")
+    if view is None:
+        view = EncodingCSR(encoded)
+        object.__setattr__(encoded, "_csr_view", view)
+    return view
 
 
 # ----------------------------------------------------------------------
@@ -166,10 +316,10 @@ def object_segment_starts(encoded: EncodedAnswers) -> np.ndarray:
     answers of object ``o`` are exactly positions
     ``starts[o]:starts[o + 1]``. Computing the boundaries once lets block
     extraction run in ``O(block answers)`` instead of an ``O(A)`` scan per
-    block.
+    block. Delegates to the shared :func:`csr_view`, so the boundaries are
+    built once per encoding epoch no matter how many subsystems ask.
     """
-    return np.searchsorted(encoded.object_index,
-                           np.arange(encoded.n_objects + 1))
+    return csr_view(encoded).object_starts
 
 
 def block_subencoding(encoded: EncodedAnswers,
@@ -228,14 +378,17 @@ def block_subencoding(encoded: EncodedAnswers,
         workers = np.unique(kept_workers)
     else:
         workers = np.asarray(workers, dtype=np.int64)
+    sub_labels = encoded.n_labels if n_labels is None else int(n_labels)
+    sub_dtype = index_dtype(int(objects.size), int(workers.size),
+                            sub_labels, int(local_obj.size))
     sub = EncodedAnswers(
         n_objects=objects.size,
         n_workers=workers.size,
-        n_labels=encoded.n_labels if n_labels is None else int(n_labels),
-        object_index=np.ascontiguousarray(local_obj),
+        n_labels=sub_labels,
+        object_index=np.ascontiguousarray(local_obj, dtype=sub_dtype),
         worker_index=np.ascontiguousarray(
-            np.searchsorted(workers, kept_workers)),
-        label_index=np.ascontiguousarray(kept_labels))
+            np.searchsorted(workers, kept_workers), dtype=sub_dtype),
+        label_index=np.ascontiguousarray(kept_labels, dtype=sub_dtype))
     return sub, workers
 
 
@@ -298,9 +451,10 @@ class AnswerStats:
         self._n_workers = int(n_workers)
         self._n_labels = int(n_labels)
         capacity = 64
-        self._obj = np.empty(capacity, dtype=np.int64)
-        self._wrk = np.empty(capacity, dtype=np.int64)
-        self._lab = np.empty(capacity, dtype=np.int64)
+        dtype = index_dtype(self._n_objects, self._n_workers, self._n_labels)
+        self._obj = np.empty(capacity, dtype=dtype)
+        self._wrk = np.empty(capacity, dtype=dtype)
+        self._lab = np.empty(capacity, dtype=dtype)
         self._n_answers = 0
         #: (object, worker) -> label, for duplicate/conflict detection.
         self._cells: dict[tuple[int, int], int] = {}
@@ -425,6 +579,7 @@ class AnswerStats:
                     np.zeros(n_workers - self._n_workers, dtype=np.int64)])
                 self._n_workers = n_workers
                 self._bump()
+        self._maybe_widen()
 
     def add_answer(self, obj: int, worker: int, label: int) -> bool:
         """Ingest one answer; returns ``False`` for an exact duplicate.
@@ -452,7 +607,7 @@ class AnswerStats:
                 f"conflicting re-answer {label} rejected")
         position = self._n_answers
         if position == self._obj.size:
-            self._reserve(2 * self._obj.size)
+            self._reserve(position + 1)
         self._obj[position] = obj
         self._wrk[position] = worker
         self._lab[position] = label
@@ -500,10 +655,7 @@ class AnswerStats:
             return False  # in-batch duplicates need per-answer semantics
         count = int(objects.size)
         if count > self._obj.size:
-            capacity = self._obj.size
-            while capacity < count:
-                capacity *= 2
-            self._reserve(capacity)
+            self._reserve(count)
         self._obj[:count] = objects
         self._wrk[:count] = workers
         self._lab[:count] = labels
@@ -607,11 +759,36 @@ class AnswerStats:
 
     # ------------------------------------------------------------------
     def _reserve(self, capacity: int) -> None:
+        """Grow the triple log to hold at least ``capacity`` answers.
+
+        Growth is geometric: whatever the requested size, the new capacity
+        is at least **double** the current one, so a stream of ``A``
+        appends performs ``O(log A)`` reallocations and ``O(A)`` total
+        copied elements — never the ``O(A²)`` copy cascade a
+        request-sized policy degrades to on million-answer bulk ingest.
+        The policy lives here (not at the call sites) so every growth
+        path inherits it; ``tests/test_scale_kernel.py`` pins it.
+        """
+        capacity = max(int(capacity), 2 * self._obj.size)
         for name in ("_obj", "_wrk", "_lab"):
             old = getattr(self, name)
-            grown = np.empty(capacity, dtype=np.int64)
+            grown = np.empty(capacity, dtype=old.dtype)
             grown[:self._n_answers] = old[:self._n_answers]
             setattr(self, name, grown)
+
+    def _maybe_widen(self) -> None:
+        """Widen the triple log when grown dimensions outgrow its dtype.
+
+        Streams may :meth:`grow` past the bound the construction-time
+        :func:`index_dtype` was validated against; indices already stored
+        are unaffected (they were bounded by the *old* dimensions), but
+        future appends need the wider type.
+        """
+        dtype = index_dtype(self._n_objects, self._n_workers,
+                            self._n_labels, self._n_answers)
+        if dtype.itemsize > self._obj.dtype.itemsize:
+            for name in ("_obj", "_wrk", "_lab"):
+                setattr(self, name, getattr(self, name).astype(dtype))
 
     def _bump(self) -> None:
         self._version += 1
@@ -732,7 +909,8 @@ def m_step(encoded: EncodedAnswers,
            assignment: np.ndarray,
            smoothing: float = DEFAULT_SMOOTHING,
            *,
-           plan: KernelPlan | None = None) -> np.ndarray:
+           plan: KernelPlan | None = None,
+           dtype: np.dtype | type | str = np.float64) -> np.ndarray:
     """Estimate worker confusion matrices from the soft assignment (Eq. 5).
 
     ``F_w(l', l) ∝ Σ_o U(o, l') · d_w(o, l)``, row-normalized with
@@ -743,62 +921,108 @@ def m_step(encoded: EncodedAnswers,
     ``np.add.at`` scatter rebuilds the indices in place. Both accumulate
     each count cell in ascending answer order, so the results are
     bit-for-bit identical.
+
+    ``dtype`` selects the accumulation precision. The ``float64`` default
+    is the bit-exact path above. ``float32`` is the scale-tier opt-in:
+    the plan path loops the bincount per assignment row ``r`` (rows
+    target disjoint ``(w, r, l)`` cells, so the pieces assemble exactly),
+    bounding the float64 temporaries ``np.bincount`` creates internally
+    to one answer-length array instead of ``m`` of them — that, plus the
+    float32 gather, is what cuts peak memory below the 0.6× target in
+    ``benchmarks/test_scale_tiers.py``. Reduced precision is approximate:
+    plan and reference results agree to float32 tolerance, not bit-wise.
     """
     k, m = encoded.n_workers, encoded.n_labels
+    out_dtype = np.dtype(dtype)
     if not encoded.n_answers:
         return normalize_rows(np.zeros((k, m, m), dtype=float),
-                              smoothing=smoothing)
+                              smoothing=smoothing).astype(out_dtype,
+                                                          copy=False)
     if plan is not None:
-        counts = np.bincount(
-            plan.conf_gather.reshape(-1),
-            weights=assignment.reshape(-1)[plan.assign_gather.reshape(-1)],
-            minlength=k * m * m).reshape(k, m, m)
+        if out_dtype == np.float64:
+            counts = np.bincount(
+                plan.conf_gather.reshape(-1),
+                weights=assignment.reshape(-1)[
+                    plan.assign_gather.reshape(-1)],
+                minlength=k * m * m).reshape(k, m, m)
+        else:
+            counts = np.empty((k, m, m), dtype=out_dtype)
+            flat_assignment = np.ascontiguousarray(
+                assignment, dtype=out_dtype).reshape(-1)
+            for row in range(m):
+                row_counts = np.bincount(
+                    plan.conf_gather[row],
+                    weights=flat_assignment[plan.assign_gather[row]],
+                    minlength=k * m * m).reshape(k, m, m)
+                counts[:, row, :] = row_counts[:, row, :]
         if smoothing > 0:
             # Inline the normalize_rows smoothed branch: counts are
             # bincount sums of non-negative probabilities and smoothing
             # makes every row total positive, so the validation scan and
             # zero-row selects are dead weight here. Same divisions,
             # bit-for-bit identical result.
-            smoothed = counts + float(smoothing)
+            smoothed = counts + counts.dtype.type(smoothing)
             return smoothed / smoothed.sum(axis=-1, keepdims=True)
     else:
         # counts[w, :, l] += U[o, :] for each answer (o, w, l). Flattened
         # scatter: index = (w*m + row)*m + l for each of the m rows.
-        counts = np.zeros((k, m, m), dtype=float)
+        counts = np.zeros((k, m, m), dtype=out_dtype)
         rows = np.arange(m)
-        flat_index = ((encoded.worker_index[:, None] * m + rows[None, :]) * m
+        flat_index = ((encoded.worker_index.astype(np.int64)[:, None] * m
+                       + rows[None, :]) * m
                       + encoded.label_index[:, None])
         np.add.at(counts.reshape(-1), flat_index.reshape(-1),
-                  assignment[encoded.object_index, :].reshape(-1))
+                  np.ascontiguousarray(
+                      assignment[encoded.object_index, :],
+                      dtype=out_dtype).reshape(-1))
     return normalize_rows(counts, smoothing=smoothing)
 
 
 def scatter_log_likelihood(encoded: EncodedAnswers,
                            log_confusions: np.ndarray,
                            *,
-                           plan: KernelPlan | None = None) -> np.ndarray:
+                           plan: KernelPlan | None = None,
+                           dtype: np.dtype | type | str = np.float64,
+                           ) -> np.ndarray:
     """Per-object log-likelihood rows ``Σ_answers log F_w(·, l)``.
 
     The E-step's scatter, factored out so delta-maintained read paths
     (:meth:`repro.streaming.ValidationSession.posteriors`) share it. With a
     ``plan``, each label column is one ``np.bincount`` over the object
     index; without one, the reference ``np.add.at`` scatter runs.
-    Bit-for-bit identical either way.
+    Bit-for-bit identical either way at the ``float64`` default; the
+    ``float32`` opt-in halves the output and gathers one answer-length
+    column at a time instead of materializing the full ``(m, A)``
+    contribution block — same values at float32 tolerance, with the
+    per-iteration floating working set bounded to ``O(A)`` instead of
+    ``O(m·A)`` (the other half of the scale-tier memory budget, next to
+    the :func:`m_step` per-row loop).
     """
     n, m = encoded.n_objects, encoded.n_labels
+    out_dtype = np.dtype(dtype)
     if not encoded.n_answers:
-        return np.zeros((n, m), dtype=float)
+        return np.zeros((n, m), dtype=out_dtype)
     if plan is not None:
-        contributions = log_confusions.reshape(-1)[plan.conf_gather]
-        log_like = np.empty((n, m), dtype=float)
-        for label in range(m):
-            log_like[:, label] = np.bincount(
-                plan.object_index, weights=contributions[label], minlength=n)
+        log_like = np.empty((n, m), dtype=out_dtype)
+        flat_logconf = log_confusions.reshape(-1)
+        if out_dtype == np.float64:
+            contributions = flat_logconf[plan.conf_gather]
+            for label in range(m):
+                log_like[:, label] = np.bincount(
+                    plan.object_index, weights=contributions[label],
+                    minlength=n)
+        else:
+            for label in range(m):
+                log_like[:, label] = np.bincount(
+                    plan.object_index,
+                    weights=flat_logconf[plan.conf_gather[label]],
+                    minlength=n)
         return log_like
-    log_like = np.zeros((n, m), dtype=float)
+    log_like = np.zeros((n, m), dtype=out_dtype)
     contributions = log_confusions[encoded.worker_index, :,
                                    encoded.label_index]
-    np.add.at(log_like, encoded.object_index, contributions)
+    np.add.at(log_like, encoded.object_index,
+              contributions.astype(out_dtype, copy=False))
     return log_like
 
 
@@ -808,7 +1032,8 @@ def e_step(encoded: EncodedAnswers,
            *,
            plan: KernelPlan | None = None,
            log_confusions: np.ndarray | None = None,
-           log_priors: np.ndarray | None = None) -> np.ndarray:
+           log_priors: np.ndarray | None = None,
+           dtype: np.dtype | type | str = np.float64) -> np.ndarray:
     """Estimate assignment probabilities from confusion matrices (Eq. 1).
 
     ``U(o, l) ∝ p(l) · Π_w Π_{l'} F_w(l, l')^{d_w(o, l')}``, computed in log
@@ -823,11 +1048,15 @@ def e_step(encoded: EncodedAnswers,
     computed here. ``plan`` selects the segment-reduce scatter (see
     :func:`scatter_log_likelihood`).
     """
+    out_dtype = np.dtype(dtype)
     if log_confusions is None:
-        log_confusions = np.log(np.clip(confusions, PROB_FLOOR, None))
+        log_confusions = np.log(
+            np.clip(confusions, PROB_FLOOR, None)).astype(out_dtype,
+                                                          copy=False)
     if log_priors is None:
         log_priors = np.log(np.clip(priors, PROB_FLOOR, None))
-    log_like = scatter_log_likelihood(encoded, log_confusions, plan=plan)
+    log_like = scatter_log_likelihood(encoded, log_confusions, plan=plan,
+                                      dtype=out_dtype)
     log_like += log_priors[None, :]
     log_like -= log_like.max(axis=1, keepdims=True)
     assignment = np.exp(log_like)
@@ -847,7 +1076,9 @@ def run_em(encoded: EncodedAnswers,
            tol: float = DEFAULT_TOL,
            smoothing: float = DEFAULT_SMOOTHING,
            plan: KernelPlan | None = None,
-           use_plan: bool = True) -> EMResult:
+           use_plan: bool = True,
+           dtype: np.dtype | type | str = np.float64,
+           parallel_m_step=None) -> EMResult:
     """Run EM to convergence from an initial soft assignment.
 
     Parameters
@@ -868,6 +1099,21 @@ def run_em(encoded: EncodedAnswers,
         memoized on ``encoded``) when omitted. ``use_plan=False`` forces
         the ``np.add.at`` reference path — bit-for-bit identical, kept for
         golden-fixture verification and honest before/after benchmarks.
+    dtype:
+        Accumulation precision. The ``float64`` default is the bit-exact
+        path; ``float32`` halves the floating working set at float32
+        tolerance (see :func:`m_step`), and assignment/confusion/prior
+        outputs all follow it.
+    parallel_m_step:
+        Opt-in shard-parallel M-step (requires ``use_plan`` and the
+        ``float64`` path). Accepts a prebuilt
+        :class:`repro.parallel.sharded_kernel.ShardedKernel` over this
+        same encoding, a :class:`repro.parallel.Executor` to build one
+        on, ``True`` for a process-parallel kernel with default workers,
+        or an ``int`` worker count. Kernels built here are closed before
+        returning; a caller-supplied kernel is the caller's to close.
+        The shard reduction is deterministic and bit-for-bit equal to
+        the serial plan path (``tests/test_scale_kernel.py`` pins it).
 
     Returns
     -------
@@ -880,29 +1126,66 @@ def run_em(encoded: EncodedAnswers,
         validated_labels = np.empty(0, dtype=np.int64)
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    compute = np.dtype(dtype)
     if not use_plan:
         plan = None
     elif plan is None:
         plan = kernel_plan(encoded)
 
-    assignment = np.array(initial_assignment, dtype=float, copy=True)
-    clamp_validated(assignment, validated_objects, validated_labels)
+    if parallel_m_step is None or parallel_m_step is False:
+        kernel = owned_kernel = None
+    else:
+        if plan is None:
+            raise ValueError(
+                "parallel_m_step requires the plan path (use_plan=True)")
+        if compute != np.float64:
+            raise ValueError(
+                "parallel_m_step shards the float64 plan path; "
+                f"got dtype={compute}")
+        from repro.parallel.sharded_kernel import ShardedKernel
+        owned_kernel = None
+        if isinstance(parallel_m_step, ShardedKernel):
+            kernel = parallel_m_step
+        elif parallel_m_step is True:
+            kernel = owned_kernel = ShardedKernel(encoded)
+        elif isinstance(parallel_m_step, (int, np.integer)):
+            kernel = owned_kernel = ShardedKernel(
+                encoded, max_workers=int(parallel_m_step))
+        else:
+            kernel = owned_kernel = ShardedKernel(encoded, parallel_m_step)
+        if kernel.encoded is not encoded:
+            raise ValueError(
+                "parallel_m_step kernel was built for a different encoding")
 
-    confusions = m_step(encoded, assignment, smoothing, plan=plan)
-    priors = estimate_priors(assignment)
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        new_assignment = e_step(encoded, confusions, priors, plan=plan)
-        clamp_validated(new_assignment, validated_objects, validated_labels)
-        delta = float(np.max(np.abs(new_assignment - assignment))) \
-            if assignment.size else 0.0
-        assignment = new_assignment
-        confusions = m_step(encoded, assignment, smoothing, plan=plan)
+    def _m_step(current: np.ndarray) -> np.ndarray:
+        if kernel is not None:
+            return kernel.m_step(current, smoothing)
+        return m_step(encoded, current, smoothing, plan=plan, dtype=compute)
+
+    try:
+        assignment = np.array(initial_assignment, dtype=compute, copy=True)
+        clamp_validated(assignment, validated_objects, validated_labels)
+
+        confusions = _m_step(assignment)
         priors = estimate_priors(assignment)
-        if delta < tol:
-            converged = True
-            break
+        converged = False
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            new_assignment = e_step(encoded, confusions, priors, plan=plan,
+                                    dtype=compute)
+            clamp_validated(new_assignment, validated_objects,
+                            validated_labels)
+            delta = float(np.max(np.abs(new_assignment - assignment))) \
+                if assignment.size else 0.0
+            assignment = new_assignment
+            confusions = _m_step(assignment)
+            priors = estimate_priors(assignment)
+            if delta < tol:
+                converged = True
+                break
+    finally:
+        if owned_kernel is not None:
+            owned_kernel.close()
     return EMResult(assignment=assignment, confusions=confusions,
                     priors=priors, n_iterations=iterations,
                     converged=converged)

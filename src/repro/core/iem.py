@@ -39,6 +39,11 @@ class IncrementalEM:
         warm-start from the previous snapshot.
     max_iter, tol, smoothing:
         Kernel knobs; see :func:`repro.core.em_kernel.run_em`.
+    parallel_m_step:
+        Opt-in shard-parallel M-step forwarded to
+        :func:`repro.core.em_kernel.run_em` on every conclude
+        (bit-for-bit identical to the serial path; pass an
+        :class:`~repro.parallel.Executor`, a worker count, or ``True``).
     rng:
         Randomness for the ``"random"`` first initialization.
 
@@ -61,11 +66,13 @@ class IncrementalEM:
                  max_iter: int = em_kernel.DEFAULT_MAX_ITER,
                  tol: float = em_kernel.DEFAULT_TOL,
                  smoothing: float = em_kernel.DEFAULT_SMOOTHING,
+                 parallel_m_step=None,
                  rng: np.random.Generator | int | None = None) -> None:
         self.init = init
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.smoothing = float(smoothing)
+        self.parallel_m_step = parallel_m_step
         self.rng = ensure_rng(rng)
 
     def conclude(self,
@@ -142,6 +149,7 @@ class IncrementalEM:
             tol=self.tol,
             smoothing=self.smoothing,
             plan=plan,
+            parallel_m_step=self.parallel_m_step,
         )
         return ProbabilisticAnswerSet(
             answer_set=answer_set,

@@ -51,7 +51,7 @@ from repro.guidance.base import (
     Selection,
     argmax_with_ties,
 )
-from repro.core.em_kernel import block_subencoding, object_segment_starts
+from repro.core.em_kernel import block_subencoding
 from repro.parallel.executor import Executor
 
 #: Labels with current belief below this floor are skipped in the
@@ -190,24 +190,19 @@ class _LocalizedLookahead:
         self.log_priors = np.log(np.clip(prob_set.priors, PROB_FLOOR, None))
         self.base_entropies = object_entropies(prob_set.assignment)
         # Worker-neighborhood adjacency over the flat encoding: the
-        # object index is sorted, so per-object answer segments are
-        # slices; a stable argsort by worker gives per-worker segments.
-        self._object_starts = object_segment_starts(encoded)
-        self._worker_order = np.argsort(encoded.worker_index, kind="stable")
-        self._worker_starts = np.searchsorted(
-            encoded.worker_index[self._worker_order],
-            np.arange(encoded.n_workers + 1))
+        # shared CSR view supplies both the per-object answer slices and
+        # the per-worker (stable argsort) segments — built once per
+        # encoding epoch, shared with the sharded refresher and session.
+        self._csr = em_kernel.csr_view(encoded)
+        self._object_starts = self._csr.object_starts
 
     def _neighborhood(self, obj: int) -> np.ndarray:
         """Sorted unique objects sharing a worker with ``obj`` (incl. it)."""
-        lo, hi = self._object_starts[obj], self._object_starts[obj + 1]
-        workers = self.encoded.worker_index[lo:hi]
+        workers = self.encoded.worker_index[self._csr.object_slice(obj)]
         if not workers.size:
             return np.array([obj], dtype=np.int64)
         positions = np.concatenate([
-            self._worker_order[self._worker_starts[w]:
-                               self._worker_starts[w + 1]]
-            for w in workers])
+            self._csr.worker_positions(int(w)) for w in workers])
         return np.unique(self.encoded.object_index[positions])
 
     def __call__(self, obj: int) -> float:

@@ -1,0 +1,317 @@
+"""Shard-parallel E/M scatters over shared-memory kernel plans (§5.4 scaled).
+
+The plan-driven :func:`repro.core.em_kernel.m_step` is one ``np.bincount``
+over ``m·A`` flat indices; at the 10⁵–10⁶-object tiers that single
+sequential reduction is the whole EM iteration. This module partitions it:
+
+* the **M-step** (confusion counts) is sharded by *worker ranges* — each
+  shard owns workers ``[w0, w1)`` and scatters only the answers of those
+  workers into the disjoint output slice ``counts[w0:w1]``;
+* the **E-step scatter** (per-object log-likelihood rows) is sharded by
+  *object ranges* — the encoding is already object-sorted, so each shard
+  owns a contiguous answer segment and the disjoint rows ``[o0, o1)``.
+
+Because every shard writes a private output range and, within any output
+cell, visits its answers in the same ascending order as the serial
+bincount (the worker-sorted permutation is a *stable* argsort), the
+sharded results are **bit-for-bit identical** to the serial plan path —
+there is no floating reduction across shards at all, hence the
+"deterministic reduction order" comes for free.
+
+Process parallelism without pickling
+------------------------------------
+Shipping the ``(m, A)`` index arrays (or even just the per-call
+assignment) to pool workers would cost more than the ~tens of
+milliseconds the serial scatter takes. Instead every operand lives in
+:mod:`multiprocessing.shared_memory` segments:
+
+* static per-encoding index arrays, written once at construction;
+* per-call input buffers (flat assignment / log-confusions), overwritten
+  by the parent before each fan-out;
+* disjoint per-shard output buffers, read by the parent after the
+  barrier.
+
+Workers locate the segments through a module-level registry keyed by a
+per-kernel token: children forked after construction (the common case —
+:class:`repro.parallel.Executor` creates its pool lazily) inherit the
+parent's registry entry outright, and the inherited ``MAP_SHARED``
+mappings alias the same physical pages, so they see per-call input
+updates for free. A worker without the token (pre-existing pools, spawn
+contexts) attaches by segment name once and caches the views.
+
+``threads`` executors are supported and bit-identical but give no
+speedup — ``np.bincount`` holds the GIL — so ``processes`` is the mode
+that delivers the ≥2× wins benchmarked in
+``benchmarks/test_scale_tiers.py``.
+"""
+
+from __future__ import annotations
+
+import uuid
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.core import em_kernel
+from repro.core.confusion import PROB_FLOOR, normalize_rows
+from repro.parallel.executor import Executor
+
+#: Worker-side registry: token -> dict of named ndarray views (plus the
+#: SharedMemory objects keeping them alive). Fork-inherited entries alias
+#: the parent's shared mappings; attach-path entries are built lazily.
+_REGISTRY: dict[str, dict] = {}
+
+
+def _attach(token: str, spec: dict) -> dict:
+    """Attach to a kernel's shared segments by name (non-fork workers)."""
+    entry: dict = {"_segments": []}
+    for name, (shm_name, shape, dtype_str) in spec.items():
+        shm = shared_memory.SharedMemory(name=shm_name)
+        # This worker did not create the segment; stop its resource
+        # tracker from "cleaning up" (unlinking) the parent's memory at
+        # worker exit. (Python 3.13 grows a track= parameter for this.)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        entry["_segments"].append(shm)
+        entry[name] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
+                                 buffer=shm.buf)
+    _REGISTRY[token] = entry
+    return entry
+
+
+def _run_shard(token: str, spec: dict, kind: str, shard: tuple,
+               n_labels: int) -> None:
+    """Scatter one shard into its disjoint output range (worker side)."""
+    views = _REGISTRY.get(token)
+    if views is None:
+        views = _attach(token, spec)
+    m = n_labels
+    if kind == "m":
+        w0, w1, a0, a1 = shard
+        base = w0 * m * m
+        flat = views["conf_m"][:, a0:a1].reshape(-1) - base
+        weights = views["assign_in"][views["assign_m"][:, a0:a1].reshape(-1)]
+        views["counts_out"][base:w1 * m * m] = np.bincount(
+            flat, weights=weights, minlength=(w1 - w0) * m * m)
+    else:
+        o0, o1, a0, a1 = shard
+        local_obj = views["obj_e"][a0:a1] - o0
+        conf = views["conf_e"][:, a0:a1]
+        logconf = views["logconf_in"]
+        out = views["loglike_out"]
+        for label in range(m):
+            out[o0:o1, label] = np.bincount(
+                local_obj, weights=logconf[conf[label]], minlength=o1 - o0)
+
+
+def _shard_bounds(starts: np.ndarray, n_shards: int) -> list[tuple]:
+    """Answer-balanced ``(seg0, seg1, a0, a1)`` ranges on segment starts.
+
+    ``starts`` is a CSR indptr (per-worker or per-object); boundaries are
+    snapped to segment edges so no shard ever splits a worker/object, and
+    chosen at equal answer-count quantiles so dense segments don't pile
+    into one shard.
+    """
+    n_segments = int(starts.size) - 1
+    total = int(starts[-1])
+    if n_segments <= 0 or total <= 0:
+        return []
+    targets = (total * np.arange(1, n_shards)) // n_shards
+    cuts = np.searchsorted(starts, targets, side="left")
+    bounds = np.unique(np.concatenate(([0], cuts, [n_segments])))
+    return [(int(s0), int(s1), int(starts[s0]), int(starts[s1]))
+            for s0, s1 in zip(bounds[:-1], bounds[1:])]
+
+
+class ShardedKernel:
+    """Shard-parallel M-step / E-step scatters over one encoding.
+
+    Parameters
+    ----------
+    encoded:
+        The flat encoding to solve over. Its memoized
+        :func:`~repro.core.em_kernel.kernel_plan` and
+        :func:`~repro.core.em_kernel.csr_view` supply the gather indices
+        and the worker/object segment boundaries the shards align to.
+    executor:
+        A :class:`repro.parallel.Executor` to fan out on. When omitted, a
+        process-mode executor is created (and closed by :meth:`close`).
+    max_workers:
+        Pool size for the internally created executor (ignored when
+        ``executor`` is given).
+    n_shards:
+        Shard count; defaults to the executor's worker count. Results are
+        independent of the shard count — sharding changes *where* each
+        disjoint output range is computed, never the per-cell addition
+        order.
+
+    Use as a context manager (or call :meth:`close`) so the shared-memory
+    segments are unlinked deterministically.
+    """
+
+    def __init__(self, encoded: em_kernel.EncodedAnswers,
+                 executor: Executor | None = None,
+                 *,
+                 max_workers: int | None = None,
+                 n_shards: int | None = None) -> None:
+        self._encoded = encoded
+        self._owns_executor = executor is None
+        self._executor = executor if executor is not None \
+            else Executor("processes", max_workers=max_workers)
+        if n_shards is None:
+            n_shards = self._executor.max_workers
+        self._n_shards = max(1, int(n_shards))
+        self._token = uuid.uuid4().hex
+        self._spec: dict[str, tuple] = {}
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._views: dict = {}
+        self._closed = False
+
+        plan = em_kernel.kernel_plan(encoded)
+        self._plan = plan
+        csr = em_kernel.csr_view(encoded)
+        n, k, m = encoded.n_objects, encoded.n_workers, encoded.n_labels
+        if encoded.n_answers:
+            order = csr.worker_order
+            self._m_shards = _shard_bounds(
+                np.asarray(csr.worker_starts, dtype=np.int64),
+                self._n_shards)
+            self._e_shards = _shard_bounds(
+                np.asarray(csr.object_starts, dtype=np.int64),
+                self._n_shards)
+            # Static index segments (written once per encoding epoch):
+            # worker-sorted gathers for the M shards, object-sorted (the
+            # encoding's native order) gathers for the E shards.
+            self._share("conf_m", np.ascontiguousarray(
+                plan.conf_gather[:, order]))
+            self._share("assign_m", np.ascontiguousarray(
+                plan.assign_gather[:, order]))
+            self._share("conf_e", plan.conf_gather)
+            self._share("obj_e", plan.object_index)
+            # Per-call mutable inputs and disjoint shard outputs.
+            self._share("assign_in", np.zeros(n * m, dtype=np.float64))
+            self._share("logconf_in", np.zeros(k * m * m, dtype=np.float64))
+            self._share("counts_out", np.zeros(k * m * m, dtype=np.float64))
+            self._share("loglike_out", np.zeros((n, m), dtype=np.float64))
+            entry = dict(self._views)
+            entry["_segments"] = []
+            _REGISTRY[self._token] = entry
+        else:
+            self._m_shards = []
+            self._e_shards = []
+
+    # ------------------------------------------------------------------
+    @property
+    def encoded(self) -> em_kernel.EncodedAnswers:
+        return self._encoded
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def _share(self, name: str, array: np.ndarray) -> None:
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        self._segments.append(shm)
+        self._spec[name] = (shm.name, tuple(array.shape), array.dtype.str)
+        self._views[name] = view
+
+    def _fan_out(self, kind: str, shards: list[tuple]) -> None:
+        m = self._encoded.n_labels
+        self._executor.starmap(
+            _run_shard,
+            [(self._token, self._spec, kind, shard, m) for shard in shards])
+
+    # ------------------------------------------------------------------
+    def m_step(self, assignment: np.ndarray,
+               smoothing: float = em_kernel.DEFAULT_SMOOTHING) -> np.ndarray:
+        """Worker-sharded Eq. 5 — bit-for-bit equal to the serial plan path."""
+        if self._closed:
+            raise RuntimeError("ShardedKernel is closed")
+        encoded = self._encoded
+        k, m = encoded.n_workers, encoded.n_labels
+        if not encoded.n_answers:
+            return em_kernel.m_step(encoded, assignment, smoothing,
+                                    plan=self._plan)
+        self._views["assign_in"][...] = np.asarray(
+            assignment, dtype=np.float64).reshape(-1)
+        self._fan_out("m", self._m_shards)
+        counts = self._views["counts_out"].copy().reshape(k, m, m)
+        if smoothing > 0:
+            # Same inlined smoothed normalization as the serial plan
+            # path of em_kernel.m_step — identical divisions, identical
+            # bits.
+            smoothed = counts + float(smoothing)
+            return smoothed / smoothed.sum(axis=-1, keepdims=True)
+        return normalize_rows(counts, smoothing=smoothing)
+
+    def scatter_log_likelihood(self,
+                               log_confusions: np.ndarray) -> np.ndarray:
+        """Object-sharded E scatter — bit-equal to the serial plan path."""
+        if self._closed:
+            raise RuntimeError("ShardedKernel is closed")
+        encoded = self._encoded
+        n, m = encoded.n_objects, encoded.n_labels
+        if not encoded.n_answers:
+            return np.zeros((n, m), dtype=float)
+        self._views["logconf_in"][...] = np.asarray(
+            log_confusions, dtype=np.float64).reshape(-1)
+        self._fan_out("e", self._e_shards)
+        return self._views["loglike_out"].copy()
+
+    def e_step(self, confusions: np.ndarray, priors: np.ndarray,
+               *,
+               log_confusions: np.ndarray | None = None,
+               log_priors: np.ndarray | None = None) -> np.ndarray:
+        """Sharded Eq. 1 — mirrors :func:`repro.core.em_kernel.e_step`."""
+        if log_confusions is None:
+            log_confusions = np.log(np.clip(confusions, PROB_FLOOR, None))
+        if log_priors is None:
+            log_priors = np.log(np.clip(priors, PROB_FLOOR, None))
+        log_like = self.scatter_log_likelihood(log_confusions)
+        log_like += log_priors[None, :]
+        log_like -= log_like.max(axis=1, keepdims=True)
+        assignment = np.exp(log_like)
+        assignment /= assignment.sum(axis=1, keepdims=True)
+        return assignment
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the shared segments (and any internally owned pool)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Tear the pool down *before* unlinking so no worker is mid-shard
+        # when the segments disappear.
+        if self._owns_executor:
+            self._executor.close()
+        _REGISTRY.pop(self._token, None)
+        self._views.clear()
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ShardedKernel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"ShardedKernel(n_answers={self._encoded.n_answers}, "
+                f"n_shards={self._n_shards}, "
+                f"executor={self._executor!r}, closed={self._closed})")

@@ -42,6 +42,7 @@ from repro.scenarios.behaviors import (
 )
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.registry import (
+    PRODUCTION_SCALE,
     SCENARIO_REGISTRY,
     compile_registered,
     get_scenario,
@@ -61,6 +62,7 @@ from repro.scenarios.spec import ExpertSpec, ScenarioSpec
 
 __all__ = [
     "BEHAVIOR_TYPES",
+    "PRODUCTION_SCALE",
     "SCENARIO_REGISTRY",
     "SCHEDULE_TYPES",
     "ArrivalSchedule",

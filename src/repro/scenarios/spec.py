@@ -75,6 +75,13 @@ class ScenarioSpec:
         ``None`` means difficulty 0 everywhere.
     expert:
         The validating expert's fallibility and budget.
+    n_blocks:
+        Block-diagonal answer structure (see
+        :attr:`~repro.simulation.crowd.CrowdConfig.n_blocks`): > 1 makes
+        the workload sparse and block-structured, the regime where the
+        sharded refresher's independent-blocks approximation is exact by
+        construction. The default single block leaves every draw
+        byte-identical to pre-block compilations.
     seed:
         Canonical seed; every compile from the same seed is bit-identical.
     """
@@ -93,6 +100,7 @@ class ScenarioSpec:
     label_priors: tuple[float, ...] | None = None
     difficulty_strata: tuple[tuple[float, float], ...] | None = None
     expert: ExpertSpec = field(default_factory=ExpertSpec)
+    n_blocks: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -119,6 +127,7 @@ class ScenarioSpec:
             population=dict(self.population),
             answers_per_object=self.answers_per_object,
             label_priors=self.label_priors,
+            n_blocks=self.n_blocks,
         )
 
     @property

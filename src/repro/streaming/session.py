@@ -64,6 +64,15 @@ class ValidationSession:
         or the ``np.add.at`` reference path. Bit-for-bit identical either
         way; the knob exists so conformance suites can pin that equality
         on live sessions.
+    parallel_m_step:
+        Opt-in shard-parallel M-step for refinements, forwarded to
+        :func:`repro.core.em_kernel.run_em` (``True``, a worker count, an
+        :class:`~repro.parallel.Executor`, or a prebuilt kernel — but
+        note a prebuilt kernel is tied to one encoding epoch, so live
+        sessions should pass an executor or worker count and let each
+        ``conclude`` build against the current encoding). Bit-for-bit
+        identical to the serial path, so it is an execution detail:
+        checkpoints neither capture nor restore it.
     on_conflict:
         Policy for a *conflicting* re-answer to an already-answered cell
         (exact duplicates are always dropped silently): ``"error"`` raises
@@ -105,6 +114,7 @@ class ValidationSession:
                  tol: float = em_kernel.DEFAULT_TOL,
                  smoothing: float = em_kernel.DEFAULT_SMOOTHING,
                  use_plan: bool = True,
+                 parallel_m_step=None,
                  on_conflict: str = "error",
                  rng: np.random.Generator | int | None = None) -> None:
         if init not in ("majority", "random", "uniform"):
@@ -116,6 +126,7 @@ class ValidationSession:
         self.tol = float(tol)
         self.smoothing = float(smoothing)
         self.use_plan = bool(use_plan)
+        self.parallel_m_step = parallel_m_step
         self.on_conflict = on_conflict
         self.rng = ensure_rng(rng)
 
@@ -480,7 +491,8 @@ class ValidationSession:
         result = em_kernel.run_em(
             encoded, initial, validated, labels,
             max_iter=self.max_iter, tol=self.tol, smoothing=self.smoothing,
-            plan=plan, use_plan=self.use_plan)
+            plan=plan, use_plan=self.use_plan,
+            parallel_m_step=self.parallel_m_step)
         self._install(result)
         return result
 

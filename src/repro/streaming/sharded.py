@@ -176,7 +176,10 @@ class ShardedRefresher:
                 index for index, block in enumerate(partition.blocks)
                 if any(int(obj) in dirty for obj in block.object_indices)]
         encoded = session.stats.encoded()
-        object_starts = object_segment_starts(encoded)
+        # One CSR view per encoding epoch, shared with the guidance
+        # look-aheads and the session's own read paths (memoized on the
+        # encoding, so whoever asks first pays the build).
+        object_starts = em_kernel.csr_view(encoded).object_starts
         validated = session.validation.as_array()
 
         if warm:
