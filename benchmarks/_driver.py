@@ -3,17 +3,23 @@
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, run_experiment
+from repro.telemetry import NULL_TELEMETRY
 
 
 def run_artifact(benchmark, report_result, experiment_id: str,
-                 scale: float, seed: int = 0) -> ExperimentResult:
+                 scale: float, seed: int = 0,
+                 telemetry=NULL_TELEMETRY) -> ExperimentResult:
     """Benchmark one experiment driver and print its result table.
 
     ``rounds=1``: each driver is a complete experiment (internally averaged
     over repeats), so the benchmark measures one end-to-end regeneration.
+    Timing inside the driver comes from its ``experiment.run`` telemetry
+    span (pass a hub to collect the full trace); pytest-benchmark wraps
+    the outside as before, so the recorded floors are unchanged.
     """
     result = benchmark.pedantic(
-        lambda: run_experiment(experiment_id, scale=scale, seed=seed),
+        lambda: run_experiment(experiment_id, scale=scale, seed=seed,
+                               telemetry=telemetry),
         rounds=1, iterations=1)
     report_result(result)
     assert result.rows, f"{experiment_id} produced no rows"

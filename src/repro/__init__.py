@@ -35,6 +35,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.streaming import ShardedRefresher, ValidationSession
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __version__ = "1.1.0"
 
@@ -44,8 +45,10 @@ __all__ = [
     "DawidSkeneEM",
     "ExpertValidation",
     "IncrementalEM",
+    "NULL_TELEMETRY",
     "ProbabilisticAnswerSet",
     "ReproError",
+    "Telemetry",
     "ShardedRefresher",
     "ValidationSession",
     "answer_set_uncertainty",

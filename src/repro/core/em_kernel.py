@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.answer_set import MISSING, AnswerSet
 from repro.core.confusion import PROB_FLOOR, normalize_rows
 from repro.errors import InvalidAnswerSetError
+from repro.telemetry import NULL_TELEMETRY
 
 #: Default Laplace-style smoothing added to confusion counts in the M-step.
 DEFAULT_SMOOTHING = 0.01
@@ -1078,7 +1079,8 @@ def run_em(encoded: EncodedAnswers,
            plan: KernelPlan | None = None,
            use_plan: bool = True,
            dtype: np.dtype | type | str = np.float64,
-           parallel_m_step=None) -> EMResult:
+           parallel_m_step=None,
+           telemetry=NULL_TELEMETRY) -> EMResult:
     """Run EM to convergence from an initial soft assignment.
 
     Parameters
@@ -1114,6 +1116,12 @@ def run_em(encoded: EncodedAnswers,
         returning; a caller-supplied kernel is the caller's to close.
         The shard reduction is deterministic and bit-for-bit equal to
         the serial plan path (``tests/test_scale_kernel.py`` pins it).
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` hub (or spawn scope). One
+        ``em.run`` span wraps the whole call — never the inner E/M
+        loop — tagged with the path (plan vs reference), dtype,
+        parallelism, and final iteration count / convergence delta.
+        Disabled (the default) this costs a handful of no-op calls.
 
     Returns
     -------
@@ -1162,30 +1170,47 @@ def run_em(encoded: EncodedAnswers,
             return kernel.m_step(current, smoothing)
         return m_step(encoded, current, smoothing, plan=plan, dtype=compute)
 
+    # One span per EM call; the E/M inner loop stays instrumentation-free.
+    span = telemetry.span(
+        "em.run",
+        path="plan" if plan is not None else "reference",
+        dtype=compute.name,
+        parallel=kernel is not None,
+        n_objects=encoded.n_objects, n_workers=encoded.n_workers,
+        n_labels=encoded.n_labels, n_answers=encoded.n_answers,
+        n_validated=int(validated_objects.size))
     try:
-        assignment = np.array(initial_assignment, dtype=compute, copy=True)
-        clamp_validated(assignment, validated_objects, validated_labels)
+        with span:
+            assignment = np.array(initial_assignment, dtype=compute,
+                                  copy=True)
+            clamp_validated(assignment, validated_objects, validated_labels)
 
-        confusions = _m_step(assignment)
-        priors = estimate_priors(assignment)
-        converged = False
-        iterations = 0
-        for iterations in range(1, max_iter + 1):
-            new_assignment = e_step(encoded, confusions, priors, plan=plan,
-                                    dtype=compute)
-            clamp_validated(new_assignment, validated_objects,
-                            validated_labels)
-            delta = float(np.max(np.abs(new_assignment - assignment))) \
-                if assignment.size else 0.0
-            assignment = new_assignment
             confusions = _m_step(assignment)
             priors = estimate_priors(assignment)
-            if delta < tol:
-                converged = True
-                break
+            converged = False
+            iterations = 0
+            delta = 0.0
+            for iterations in range(1, max_iter + 1):
+                new_assignment = e_step(encoded, confusions, priors,
+                                        plan=plan, dtype=compute)
+                clamp_validated(new_assignment, validated_objects,
+                                validated_labels)
+                delta = float(np.max(np.abs(new_assignment - assignment))) \
+                    if assignment.size else 0.0
+                assignment = new_assignment
+                confusions = _m_step(assignment)
+                priors = estimate_priors(assignment)
+                if delta < tol:
+                    converged = True
+                    break
+            span.set("n_iterations", iterations)
+            span.set("converged", converged)
+            span.set("final_delta", delta)
     finally:
         if owned_kernel is not None:
             owned_kernel.close()
+    telemetry.counter("em.calls").inc()
+    telemetry.counter("em.iterations").inc(iterations)
     return EMResult(assignment=assignment, confusions=confusions,
                     priors=priors, n_iterations=iterations,
                     converged=converged)

@@ -25,6 +25,7 @@ from repro.core.answer_set import AnswerSet
 from repro.core import em_kernel
 from repro.core.probabilistic import ProbabilisticAnswerSet
 from repro.core.validation import ExpertValidation
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.rng import ensure_rng
 
 
@@ -46,6 +47,11 @@ class IncrementalEM:
         :class:`~repro.parallel.Executor`, a worker count, or ``True``).
     rng:
         Randomness for the ``"random"`` first initialization.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hub (or spawn
+        scope); each conclude emits an ``iem.conclude`` span wrapping
+        the kernel's ``em.run`` span. Defaults to the free
+        :data:`repro.telemetry.NULL_TELEMETRY`.
 
     Examples
     --------
@@ -67,13 +73,16 @@ class IncrementalEM:
                  tol: float = em_kernel.DEFAULT_TOL,
                  smoothing: float = em_kernel.DEFAULT_SMOOTHING,
                  parallel_m_step=None,
-                 rng: np.random.Generator | int | None = None) -> None:
+                 rng: np.random.Generator | int | None = None,
+                 telemetry=NULL_TELEMETRY) -> None:
         self.init = init
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.smoothing = float(smoothing)
         self.parallel_m_step = parallel_m_step
         self.rng = ensure_rng(rng)
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
 
     def conclude(self,
                  answer_set: AnswerSet,
@@ -127,30 +136,35 @@ class IncrementalEM:
         validated_labels = validation.validated_labels()
 
         plan = em_kernel.kernel_plan(encoded)
-        if previous is not None:
-            self._check_compatible(answer_set, previous)
-            initial = em_kernel.e_step(encoded, previous.confusions,
-                                       previous.priors, plan=plan)
-        elif self.init == "majority":
-            initial = em_kernel.initial_assignment_majority(encoded)
-        elif self.init == "random":
-            initial = em_kernel.initial_assignment_random(encoded, self.rng)
-        elif self.init == "uniform":
-            initial = em_kernel.initial_assignment_uniform(encoded)
-        else:
-            raise ValueError(f"unknown init policy {self.init!r}")
+        with self.telemetry.span("iem.conclude",
+                                 warm=previous is not None,
+                                 n_validated=int(validated_objects.size)):
+            if previous is not None:
+                self._check_compatible(answer_set, previous)
+                initial = em_kernel.e_step(encoded, previous.confusions,
+                                           previous.priors, plan=plan)
+            elif self.init == "majority":
+                initial = em_kernel.initial_assignment_majority(encoded)
+            elif self.init == "random":
+                initial = em_kernel.initial_assignment_random(
+                    encoded, self.rng)
+            elif self.init == "uniform":
+                initial = em_kernel.initial_assignment_uniform(encoded)
+            else:
+                raise ValueError(f"unknown init policy {self.init!r}")
 
-        result = em_kernel.run_em(
-            encoded,
-            initial,
-            validated_objects,
-            validated_labels,
-            max_iter=self.max_iter,
-            tol=self.tol,
-            smoothing=self.smoothing,
-            plan=plan,
-            parallel_m_step=self.parallel_m_step,
-        )
+            result = em_kernel.run_em(
+                encoded,
+                initial,
+                validated_objects,
+                validated_labels,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                smoothing=self.smoothing,
+                plan=plan,
+                parallel_m_step=self.parallel_m_step,
+                telemetry=self.telemetry,
+            )
         return ProbabilisticAnswerSet(
             answer_set=answer_set,
             validation=validation.copy(),

@@ -40,6 +40,7 @@ ALL_EXPERIMENTS: dict[str, str] = {
     "appe": "repro.experiments.appe_hardness",
     "scen": "repro.experiments.scen_conformance",
     "qtarget": "repro.experiments.quality_targets",
+    "telemetry": "repro.experiments.telemetry_run",
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_experiment"]

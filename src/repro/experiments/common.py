@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import importlib
 import json
-import time
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -29,6 +28,7 @@ from repro.metrics.evaluation import average_curves
 from repro.process.goals import PrecisionReached
 from repro.process.report import ValidationReport
 from repro.process.validation_process import ValidationProcess
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.utils.rng import ensure_rng, split_rng
 
 #: Candidate-pruning width used by look-ahead strategies in experiments;
@@ -56,7 +56,9 @@ class ExperimentResult:
     metadata:
         Parameters used (scale, seed, dataset names, repeat counts, …).
     elapsed_seconds:
-        Wall-clock time of the driver.
+        Wall-clock time of the driver — the duration of the
+        ``experiment.run`` telemetry span :func:`run_experiment` wraps
+        around it.
     """
 
     experiment_id: str
@@ -124,17 +126,28 @@ def register(experiment_id: str, module: str) -> None:
 
 
 def run_experiment(experiment_id: str, scale: float = 1.0,
-                   seed: int = 0) -> ExperimentResult:
-    """Look up and execute an experiment driver by artifact id."""
+                   seed: int = 0,
+                   telemetry=NULL_TELEMETRY) -> ExperimentResult:
+    """Look up and execute an experiment driver by artifact id.
+
+    The driver runs inside an ``experiment.run`` telemetry span whose
+    duration becomes the result's ``elapsed_seconds``. When no hub is
+    passed, a private one times the call — callers see the same wall
+    clock they always did, without any ad-hoc ``perf_counter`` pairs.
+    """
     from repro.experiments import ALL_EXPERIMENTS  # populates REGISTRY
     if experiment_id not in ALL_EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(ALL_EXPERIMENTS)}")
     module = importlib.import_module(ALL_EXPERIMENTS[experiment_id])
-    started = time.perf_counter()
-    result: ExperimentResult = module.run(scale=scale, seed=seed)
-    result.elapsed_seconds = time.perf_counter() - started
+    hub = telemetry if telemetry.enabled else Telemetry()
+    span = hub.span("experiment.run", experiment_id=experiment_id,
+                    scale=scale, seed=seed)
+    with span:
+        result: ExperimentResult = module.run(scale=scale, seed=seed)
+        span.set("n_rows", len(result.rows))
+    result.elapsed_seconds = span.duration
     return result
 
 

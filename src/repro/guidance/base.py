@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.iem import IncrementalEM
 from repro.core.probabilistic import ProbabilisticAnswerSet
 from repro.errors import GuidanceError
+from repro.telemetry import NULL_TELEMETRY
 from repro.workers.spammer_detection import SpammerDetector
 
 
@@ -46,6 +47,12 @@ class GuidanceContext:
         ``O(|candidates| × m)`` selection cost as the run converges.
         ``None`` (the default) means no pruning: selection is bit-for-bit
         the historical behaviour.
+    telemetry:
+        Instrumentation hub (or spawn scope) strategies report
+        per-select spans and CELF hit-rate counters into. Defaults to
+        the free :data:`repro.telemetry.NULL_TELEMETRY`; never consulted
+        for decisions, so selections are bit-identical with telemetry on
+        or off.
     """
 
     prob_set: ProbabilisticAnswerSet
@@ -54,6 +61,7 @@ class GuidanceContext:
     rng: np.random.Generator
     hybrid_weight: float = 0.0
     concluded: np.ndarray | None = None
+    telemetry: object = NULL_TELEMETRY
 
     def candidates(self) -> np.ndarray:
         """Unvalidated, unconcluded object indices — the choice set.

@@ -44,9 +44,12 @@ class HybridStrategy(GuidanceStrategy):
 
     def select(self, context: GuidanceContext) -> Selection:
         draw = float(context.rng.random())
-        if draw < context.hybrid_weight:
-            return self.worker.select(context)
-        return self.uncertainty.select(context)
+        branch = "worker" if draw < context.hybrid_weight else "uncertainty"
+        with context.telemetry.span("guidance.hybrid", branch=branch,
+                                    weight=context.hybrid_weight):
+            if branch == "worker":
+                return self.worker.select(context)
+            return self.uncertainty.select(context)
 
     def __repr__(self) -> str:
         return (f"HybridStrategy(uncertainty={self.uncertainty!r}, "

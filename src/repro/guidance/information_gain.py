@@ -289,29 +289,37 @@ class InformationGainStrategy(GuidanceStrategy):
     def select(self, context: GuidanceContext) -> Selection:
         candidates = self._require_candidates(context)
         prob_set = context.prob_set
-        if (self.candidate_limit is not None
-                and candidates.size > self.candidate_limit):
-            entropies = object_entropies(prob_set.assignment)[candidates]
-            # Stable argsort on the negated key: boundary ties resolve to
-            # the lowest candidate index (the PR 2 tie-break convention),
-            # unlike reversing an ascending argsort, which picks the
-            # highest index and makes the pruned set order-unstable.
-            top = np.argsort(-entropies, kind="stable")[:self.candidate_limit]
-            candidates = candidates[np.sort(top)]
+        span = context.telemetry.span(
+            "guidance.select", strategy=self.name, lookahead=self.lookahead,
+            frontier_size=int(candidates.size))
+        with span:
+            if (self.candidate_limit is not None
+                    and candidates.size > self.candidate_limit):
+                entropies = object_entropies(prob_set.assignment)[candidates]
+                # Stable argsort on the negated key: boundary ties resolve
+                # to the lowest candidate index (the PR 2 tie-break
+                # convention), unlike reversing an ascending argsort, which
+                # picks the highest index and makes the pruned set
+                # order-unstable.
+                top = np.argsort(-entropies,
+                                 kind="stable")[:self.candidate_limit]
+                candidates = candidates[np.sort(top)]
 
-        encoded = em_kernel.encode_answers(prob_set.answer_set)
-        current_entropy = answer_set_uncertainty(prob_set)
-        scorer_type = _LocalizedLookahead if self.lookahead == "local" \
-            else _SharedLookahead
-        scorer = scorer_type(
-            prob_set, encoded, self.label_floor, current_entropy,
-            max_iter=self.lookahead_max_iter,
-            tol=context.aggregator.tol,
-            smoothing=context.aggregator.smoothing,
-        )
-        posterior_entropies = np.array(
-            self.executor.map(scorer, [int(c) for c in candidates]))
-        gains = current_entropy - posterior_entropies
-        choice = argmax_with_ties(gains, candidates, context.rng)
+            encoded = em_kernel.encode_answers(prob_set.answer_set)
+            current_entropy = answer_set_uncertainty(prob_set)
+            scorer_type = _LocalizedLookahead if self.lookahead == "local" \
+                else _SharedLookahead
+            scorer = scorer_type(
+                prob_set, encoded, self.label_floor, current_entropy,
+                max_iter=self.lookahead_max_iter,
+                tol=context.aggregator.tol,
+                smoothing=context.aggregator.smoothing,
+            )
+            posterior_entropies = np.array(
+                self.executor.map(scorer, [int(c) for c in candidates]))
+            gains = current_entropy - posterior_entropies
+            choice = argmax_with_ties(gains, candidates, context.rng)
+            span.set("candidates_scored", int(candidates.size))
+            span.set("object_index", choice)
         return Selection(object_index=choice, strategy=self.name,
                          scores=gains, candidate_indices=candidates)

@@ -31,6 +31,7 @@ from scipy.linalg import solve_triangular
 from repro.core.answer_set import MISSING, AnswerSet
 from repro.core.probabilistic import ProbabilisticAnswerSet
 from repro.core.uncertainty import object_entropies
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.checks import check_positive_int
 
 #: Mixing coefficient for the co-answer coupling; < 1 keeps Σ positive
@@ -104,6 +105,8 @@ def exact_max_entropy_subset(covariance: np.ndarray,
 def greedy_max_entropy_subset(covariance: np.ndarray,
                               size: int,
                               method: str = "lazy",
+                              *,
+                              telemetry=NULL_TELEMETRY,
                               ) -> tuple[np.ndarray, float]:
     """Greedy forward selection: add the object with the largest marginal
     joint-entropy gain until ``size`` objects are chosen.
@@ -125,6 +128,11 @@ def greedy_max_entropy_subset(covariance: np.ndarray,
         ``"quadratic"`` reference recomputes a fresh ``slogdet`` per
         candidate per round. Both resolve equal-gain ties toward the lowest
         object index and select identical subsets.
+    telemetry:
+        Instrumentation hub; the lazy path reports its CELF evaluation
+        economy (heap pops vs. actual gain recomputations, i.e. the
+        lazy-evaluation hit rate) on a ``guidance.max_entropy_subset``
+        span and the ``celf.pops`` / ``celf.evals`` counters.
 
     Returns
     -------
@@ -137,13 +145,16 @@ def greedy_max_entropy_subset(covariance: np.ndarray,
     n = covariance.shape[0]
     if size > n:
         raise ValueError(f"subset size {size} exceeds {n} objects")
-    if method == "lazy":
-        chosen = _lazy_greedy_indices(covariance, size)
-    elif method == "quadratic":
-        chosen = _quadratic_greedy_indices(covariance, size)
-    else:
-        raise ValueError(
-            f"method must be 'lazy' or 'quadratic', got {method!r}")
+    with telemetry.span("guidance.max_entropy_subset", n=n, size=size,
+                        method=method) as span:
+        if method == "lazy":
+            chosen = _lazy_greedy_indices(covariance, size,
+                                          telemetry=telemetry, span=span)
+        elif method == "quadratic":
+            chosen = _quadratic_greedy_indices(covariance, size)
+        else:
+            raise ValueError(
+                f"method must be 'lazy' or 'quadratic', got {method!r}")
     return chosen, gaussian_joint_entropy(covariance, chosen)
 
 
@@ -173,7 +184,9 @@ def _quadratic_greedy_indices(covariance: np.ndarray,
     return np.array(chosen, dtype=np.int64)
 
 
-def _lazy_greedy_indices(covariance: np.ndarray, size: int) -> np.ndarray:
+def _lazy_greedy_indices(covariance: np.ndarray, size: int,
+                         telemetry=NULL_TELEMETRY,
+                         span=None) -> np.ndarray:
     """CELF lazy-greedy selection over an incremental Cholesky factor.
 
     Maintains the lower-triangular ``L`` with ``L Lᵀ = Σ[D, D]`` in pick
@@ -186,8 +199,24 @@ def _lazy_greedy_indices(covariance: np.ndarray, size: int) -> np.ndarray:
     queue: a popped candidate whose gain was computed against the current
     ``D`` is the true argmax. Heap entries order ties by object index,
     mirroring the quadratic reference.
+
+    The loop keeps plain-int tallies of heap pops vs. gain recomputations
+    and reports them once at the end (``celf.pops`` / ``celf.evals``
+    counters plus a ``hit_rate`` span attribute): a pop that needs no
+    recomputation is a lazy-evaluation hit.
     """
     n = covariance.shape[0]
+    pops = 0
+    evals = 0
+
+    def _finish(result: np.ndarray) -> np.ndarray:
+        telemetry.counter("celf.pops").inc(pops)
+        telemetry.counter("celf.evals").inc(evals)
+        if span is not None:
+            span.set("pops", pops)
+            span.set("evals", evals)
+            span.set("hit_rate", 1.0 - evals / pops if pops else 0.0)
+        return result
     diagonal = np.diagonal(covariance)
     with np.errstate(divide="ignore", invalid="ignore"):
         first_gains = np.where(
@@ -215,9 +244,11 @@ def _lazy_greedy_indices(covariance: np.ndarray, size: int) -> np.ndarray:
     for round_number in range(1, size + 1):
         while True:
             negated, obj, stamp = heapq.heappop(heap)
+            pops += 1
             if stamp == round_number - 1 or negated == float("inf"):
                 break  # fresh gain (or -inf: nothing can beat staying -inf)
             variance, _ = conditional(obj)
+            evals += 1
             gain = 0.5 * (_LOG_2PI_E + math.log(variance)) \
                 if variance > 0.0 else float("-inf")
             heapq.heappush(heap, (-gain, obj, round_number - 1))
@@ -229,20 +260,22 @@ def _lazy_greedy_indices(covariance: np.ndarray, size: int) -> np.ndarray:
             remainder = sorted(entry[1] for entry in heap)
             chosen_arr[depth] = obj
             chosen_arr[depth + 1:] = remainder[:size - depth - 1]
-            return chosen_arr
+            return _finish(chosen_arr)
         variance, cross = conditional(obj)
         if cross is not None:
             factor[depth, :depth] = cross
         factor[depth, depth] = math.sqrt(max(variance, 0.0))
         chosen_arr[depth] = obj
         chosen.append(obj)
-    return chosen_arr
+    return _finish(chosen_arr)
 
 
 def greedy_validation_order(prob_set: ProbabilisticAnswerSet,
                             budget: int,
                             coupling: float = DEFAULT_COUPLING,
-                            method: str = "lazy") -> np.ndarray:
+                            method: str = "lazy",
+                            *,
+                            telemetry=NULL_TELEMETRY) -> np.ndarray:
     """A full greedy ordering of up to ``budget`` objects for validation.
 
     Convenience wrapper: builds the surrogate covariance once and returns
@@ -253,5 +286,6 @@ def greedy_validation_order(prob_set: ProbabilisticAnswerSet,
     """
     covariance = object_covariance(prob_set, coupling)
     subset, _ = greedy_max_entropy_subset(
-        covariance, min(budget, covariance.shape[0]), method=method)
+        covariance, min(budget, covariance.shape[0]), method=method,
+        telemetry=telemetry)
     return subset

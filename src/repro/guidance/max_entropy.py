@@ -44,9 +44,15 @@ class MaxEntropyStrategy(GuidanceStrategy):
 
     def select(self, context: GuidanceContext) -> Selection:
         candidates = self._require_candidates(context)
-        entropies = object_entropies(context.prob_set.assignment)[candidates]
-        rng = context.rng if self.random_ties else None
-        choice = argmax_with_ties(entropies, candidates, rng)
+        span = context.telemetry.span(
+            "guidance.select", strategy=self.name,
+            frontier_size=int(candidates.size))
+        with span:
+            entropies = object_entropies(
+                context.prob_set.assignment)[candidates]
+            rng = context.rng if self.random_ties else None
+            choice = argmax_with_ties(entropies, candidates, rng)
+            span.set("object_index", choice)
         return Selection(object_index=choice, strategy=self.name,
                          scores=entropies, candidate_indices=candidates)
 
@@ -66,5 +72,6 @@ class MaxEntropyStrategy(GuidanceStrategy):
         covariance = object_covariance(context.prob_set, coupling)
         restricted = covariance[np.ix_(candidates, candidates)]
         subset, _ = greedy_max_entropy_subset(
-            restricted, min(int(size), candidates.size))
+            restricted, min(int(size), candidates.size),
+            telemetry=context.telemetry)
         return candidates[subset]

@@ -56,31 +56,38 @@ class WorkerDrivenStrategy(GuidanceStrategy):
         answer_set = prob_set.answer_set
         detector = context.detector
         priors = prob_set.priors
+        span = context.telemetry.span(
+            "guidance.select", strategy=self.name,
+            frontier_size=int(candidates.size))
+        with span:
+            base_counts = validated_confusion_counts(answer_set,
+                                                     prob_set.validation)
+            base_evidence = validated_answer_counts(answer_set,
+                                                    prob_set.validation)
+            base_detection = detector.detect_from_counts(
+                base_counts, base_evidence, priors)
+            base_faulty = base_detection.faulty_mask
 
-        base_counts = validated_confusion_counts(answer_set,
-                                                 prob_set.validation)
-        base_evidence = validated_answer_counts(answer_set,
-                                                prob_set.validation)
-        base_detection = detector.detect_from_counts(base_counts,
-                                                     base_evidence, priors)
-        base_faulty = base_detection.faulty_mask
+            if (self.candidate_limit is not None
+                    and candidates.size > self.candidate_limit):
+                answered = answer_set.matrix[candidates, :] != MISSING
+                coverage = answered.sum(axis=1)
+                # Stable argsort on the negated key so boundary ties keep
+                # the lowest candidate index (see
+                # InformationGainStrategy.select).
+                top = np.argsort(-coverage,
+                                 kind="stable")[:self.candidate_limit]
+                candidates = candidates[np.sort(top)]
 
-        if (self.candidate_limit is not None
-                and candidates.size > self.candidate_limit):
-            answered = answer_set.matrix[candidates, :] != MISSING
-            coverage = answered.sum(axis=1)
-            # Stable argsort on the negated key so boundary ties keep the
-            # lowest candidate index (see InformationGainStrategy.select).
-            top = np.argsort(-coverage, kind="stable")[:self.candidate_limit]
-            candidates = candidates[np.sort(top)]
-
-        scores = np.array([
-            self._expected_detections(
-                int(obj), answer_set, detector, prob_set.assignment,
-                base_counts, base_evidence, base_faulty, priors)
-            for obj in candidates
-        ])
-        choice = argmax_with_ties(scores, candidates, context.rng)
+            scores = np.array([
+                self._expected_detections(
+                    int(obj), answer_set, detector, prob_set.assignment,
+                    base_counts, base_evidence, base_faulty, priors)
+                for obj in candidates
+            ])
+            choice = argmax_with_ties(scores, candidates, context.rng)
+            span.set("candidates_scored", int(candidates.size))
+            span.set("object_index", choice)
         return Selection(object_index=choice, strategy=self.name,
                          scores=scores, candidate_indices=candidates)
 

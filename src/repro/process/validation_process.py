@@ -48,6 +48,7 @@ from repro.process.report import StepRecord, ValidationReport
 from repro.process.weighting import dynamic_weight
 from repro.state import store as state_events
 from repro.streaming.session import ValidationSession
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.rng import ensure_rng
 from repro.workers.spammer_detection import SpammerDetector
 
@@ -105,6 +106,13 @@ class ValidationProcess:
         :class:`repro.resilience.EventLog`) records the degradations.
     rng:
         Randomness for the roulette wheel and strategy tie-breaks.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hub (or spawn
+        scope). Each :meth:`step` emits a ``process.step`` span nesting
+        the strategy's ``guidance.select`` and the session's
+        ``session.conclude``; checkpoints emit ``process.checkpoint``.
+        Purely observational — never consulted for decisions — and
+        defaults to the free :data:`repro.telemetry.NULL_TELEMETRY`.
 
     Examples
     --------
@@ -139,7 +147,8 @@ class ValidationProcess:
                  checkpoint_every: int | None = None,
                  checkpoint_retry_policy=None,
                  checkpoint_event_log=None,
-                 rng: np.random.Generator | int | None = None) -> None:
+                 rng: np.random.Generator | int | None = None,
+                 telemetry=NULL_TELEMETRY) -> None:
         self.answer_set = answer_set
         self.expert = expert
         self.strategy = strategy or HybridStrategy()
@@ -181,6 +190,8 @@ class ValidationProcess:
         self.checkpoint_retry_policy = checkpoint_retry_policy
         self.checkpoint_event_log = checkpoint_event_log
         self.rng = ensure_rng(rng)
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
 
         # Mutable run state (Algorithm 1, lines 1–4), held by a streaming
         # session: validations and worker maskings are ingested as deltas
@@ -198,7 +209,8 @@ class ValidationProcess:
             tol=getattr(self.aggregator, "tol", em_kernel.DEFAULT_TOL),
             smoothing=getattr(self.aggregator, "smoothing",
                               em_kernel.DEFAULT_SMOOTHING),
-            rng=getattr(self.aggregator, "rng", None))
+            rng=getattr(self.aggregator, "rng", None),
+            telemetry=self.telemetry)
         self.validation = self.session.validation
         self.faulty_filter = FaultyWorkerFilter()
         self.hybrid_weight = 0.0
@@ -252,14 +264,18 @@ class ValidationProcess:
 
     def _checkpoint(self, meta: dict) -> None:
         """One (optionally retried) checkpoint of the live session."""
-        if self.checkpoint_retry_policy is None:
-            self.store.checkpoint(self.session, meta=meta)
-            return
-        from repro.resilience.retry import call_with_retry
-        call_with_retry(
-            lambda: self.store.checkpoint(self.session, meta=meta),
-            self.checkpoint_retry_policy, site="store.checkpoint",
-            key=meta.get("iteration"), event_log=self.checkpoint_event_log)
+        with self.telemetry.span("process.checkpoint",
+                                 iteration=meta.get("iteration")):
+            if self.checkpoint_retry_policy is None:
+                self.store.checkpoint(self.session, meta=meta)
+                return
+            from repro.resilience.retry import call_with_retry
+            call_with_retry(
+                lambda: self.store.checkpoint(self.session, meta=meta),
+                self.checkpoint_retry_policy, site="store.checkpoint",
+                key=meta.get("iteration"),
+                event_log=self.checkpoint_event_log,
+                telemetry=self.telemetry)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -291,67 +307,83 @@ class ValidationProcess:
         if self.validation.count >= self.answer_set.n_objects:
             raise GuidanceError("all objects are already validated")
         started = time.perf_counter()
+        span = self.telemetry.span("process.step",
+                                   iteration=self.iteration + 1)
+        with span:
+            # (1) Select an object, pruning quality-target-concluded
+            # objects from the frontier. With no targets (or none
+            # concluded yet) the mask is literally None, so the disabled
+            # path is bit-identical to a process built before quality
+            # targets existed.
+            mask = self.session.concluded_mask \
+                if self._quality_targets else None
+            if mask is not None and not mask.any():
+                mask = None
+            context = GuidanceContext(
+                prob_set=self.prob_set,
+                aggregator=self.aggregator,
+                detector=self.detector,
+                rng=self.rng,
+                hybrid_weight=self.hybrid_weight,
+                concluded=mask,
+                telemetry=self.telemetry,
+            )
+            frontier_size = int(context.candidates().size)
+            selection = self.strategy.select(context)
+            obj = selection.object_index
+            worker_branch = selection.strategy == "worker"
 
-        # (1) Select an object, pruning quality-target-concluded objects
-        # from the frontier. With no targets (or none concluded yet) the
-        # mask is literally None, so the disabled path is bit-identical to
-        # a process built before quality targets existed.
-        mask = self.session.concluded_mask if self._quality_targets else None
-        if mask is not None and not mask.any():
-            mask = None
-        context = GuidanceContext(
-            prob_set=self.prob_set,
-            aggregator=self.aggregator,
-            detector=self.detector,
-            rng=self.rng,
-            hybrid_weight=self.hybrid_weight,
-            concluded=mask,
-        )
-        frontier_size = int(context.candidates().size)
-        selection = self.strategy.select(context)
-        obj = selection.object_index
-        worker_branch = selection.strategy == "worker"
+            # (2) Elicit expert input and compute the error rate ε_i.
+            aggregated = int(np.argmax(self.prob_set.assignment[obj]))
+            label = int(self.expert.validate(obj, {
+                "aggregated": aggregated,
+                "beliefs": np.array(self.prob_set.assignment[obj]),
+            }))
+            error_rate = 1.0 - float(self.prob_set.assignment[obj, label])
+            self._log(state_events.validation_event(obj, label,
+                                                    overwrite=True))
+            self.session.add_validation(obj, label, overwrite=True)
+            self.effort += 1
+            self.iteration += 1
 
-        # (2) Elicit expert input and compute the error rate ε_i.
-        aggregated = int(np.argmax(self.prob_set.assignment[obj]))
-        label = int(self.expert.validate(obj, {
-            "aggregated": aggregated,
-            "beliefs": np.array(self.prob_set.assignment[obj]),
-        }))
-        error_rate = 1.0 - float(self.prob_set.assignment[obj, label])
-        self._log(state_events.validation_event(obj, label, overwrite=True))
-        self.session.add_validation(obj, label, overwrite=True)
-        self.effort += 1
-        self.iteration += 1
+            # (3) Detect (always) and handle (worker-branch only) spammers.
+            detection = self.detector.detect(self.answer_set,
+                                             self.validation,
+                                             self.prob_set.priors)
+            self.faulty_filter.observe(detection)
+            if self.handle_faulty and worker_branch:
+                self.faulty_filter.commit()
+                self._log(state_events.mask_event(
+                    self.faulty_filter.suspected))
+                self.session.set_masked_workers(self.faulty_filter.suspected)
+                self._active_answer_set = self.session.answer_set
+            spammer_ratio = detection.faulty_ratio()
+            self.hybrid_weight = dynamic_weight(
+                error_rate, spammer_ratio, self.validation.ratio())
 
-        # (3) Detect (always) and handle (worker-branch only) spammers.
-        detection = self.detector.detect(self.answer_set, self.validation,
-                                         self.prob_set.priors)
-        self.faulty_filter.observe(detection)
-        if self.handle_faulty and worker_branch:
-            self.faulty_filter.commit()
-            self._log(state_events.mask_event(self.faulty_filter.suspected))
-            self.session.set_masked_workers(self.faulty_filter.suspected)
-            self._active_answer_set = self.session.answer_set
-        spammer_ratio = detection.faulty_ratio()
-        self.hybrid_weight = dynamic_weight(
-            error_rate, spammer_ratio, self.validation.ratio())
+            # (4) Integrate the validation (conclude + filter): a
+            # warm-started refinement over the session's delta-maintained
+            # statistics.
+            self._log(state_events.conclude_event())
+            self.prob_set = self._conclude(previous=self.prob_set)
 
-        # (4) Integrate the validation (conclude + filter): a warm-started
-        # refinement over the session's delta-maintained statistics.
-        self._log(state_events.conclude_event())
-        self.prob_set = self._conclude(previous=self.prob_set)
+            # (5) Periodic confirmation check for erroneous expert
+            # input (§5.5).
+            reconsidered: tuple[int, ...] = ()
+            if (self.confirmation_interval is not None
+                    and self.iteration % self.confirmation_interval == 0):
+                reconsidered = self._run_confirmation_check()
 
-        # (5) Periodic confirmation check for erroneous expert input (§5.5).
-        reconsidered: tuple[int, ...] = ()
-        if (self.confirmation_interval is not None
-                and self.iteration % self.confirmation_interval == 0):
-            reconsidered = self._run_confirmation_check()
+            # (6) Conclude objects whose refreshed posterior clears a
+            # target.
+            self._sync_quality_targets()
 
-        # (6) Conclude objects whose refreshed posterior clears a target.
-        self._sync_quality_targets()
-
+            span.set("object_index", obj)
+            span.set("strategy", selection.strategy)
+            span.set("frontier_size", frontier_size)
+            span.set("effort", self.effort)
         elapsed = time.perf_counter() - started
+        self.telemetry.histogram("process.step_seconds").observe(elapsed)
         precision = self.current_precision()
         record = StepRecord(
             iteration=self.iteration,
@@ -380,8 +412,10 @@ class ValidationProcess:
 
     def _run_confirmation_check(self) -> tuple[int, ...]:
         """Leave-one-out sweep; flagged objects are re-elicited (+1 effort)."""
-        report = self.confirmation_check.run(
-            self._active_answer_set, self.validation, self.prob_set)
+        with self.telemetry.span("process.confirmation",
+                                 iteration=self.iteration):
+            report = self.confirmation_check.run(
+                self._active_answer_set, self.validation, self.prob_set)
         reconsidered: list[int] = []
         for obj in report.flagged:
             if self.effort >= self.budget:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from repro.telemetry import NULL_TELEMETRY
+
 #: Event kinds the library itself records. Callers may record others;
 #: these are the vocabulary the conformance suite asserts over.
 EVENT_KINDS = (
@@ -52,6 +54,14 @@ class DegradationEvent:
         Free-form human-readable context.
     error:
         ``repr``-style rendering of the underlying exception, if any.
+    queue_wait:
+        Seconds the failing task sat between dispatch and the worker
+        actually starting it (``None`` when the recording layer has no
+        worker-side timing — only the supervised executor does). Splits
+        "the pool was saturated" from "the task itself was slow".
+    run_time:
+        Worker-side wall-clock seconds of the failing attempt itself
+        (``None`` when unknown).
     """
 
     kind: str
@@ -60,6 +70,8 @@ class DegradationEvent:
     attempt: int = 0
     detail: str = ""
     error: str | None = None
+    queue_wait: float | None = None
+    run_time: float | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -72,15 +84,24 @@ class EventLog:
     One log instance is typically threaded through a whole supervised run
     (executor + store + expert), so the resulting sequence is the run's
     complete degradation history in causal order.
+
+    When a ``telemetry`` hub is attached, every recorded event is also
+    forwarded to the hub's timeline (same kind/site/key/attempt/detail/
+    error fields) and counted on a ``resilience.<kind>`` counter — so
+    chaos, retries, and quarantine share one timeline with the spans and
+    metrics, while this log stays the canonical chaos-artifact source.
     """
 
     _events: list[DegradationEvent] = field(default_factory=list)
+    telemetry: object = NULL_TELEMETRY
 
     def record(self, kind: str, site: str, *,
                key: int | str | None = None,
                attempt: int = 0,
                detail: str = "",
-               error: BaseException | str | None = None) -> DegradationEvent:
+               error: BaseException | str | None = None,
+               queue_wait: float | None = None,
+               run_time: float | None = None) -> DegradationEvent:
         """Append one event (exceptions are rendered to strings)."""
         rendered = None
         if error is not None:
@@ -88,8 +109,12 @@ class EventLog:
                 else f"{type(error).__name__}: {error}"
         event = DegradationEvent(kind=kind, site=site, key=key,
                                  attempt=attempt, detail=detail,
-                                 error=rendered)
+                                 error=rendered, queue_wait=queue_wait,
+                                 run_time=run_time)
         self._events.append(event)
+        self.telemetry.event(kind, site, key=key, attempt=attempt,
+                             detail=detail, error=rendered)
+        self.telemetry.counter(f"resilience.{kind}").inc()
         return event
 
     @property

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import (DeadlineExceededError, RetryExhaustedError,
                           is_transient)
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.rng import ensure_rng
 
 
@@ -107,6 +108,7 @@ def call_with_retry(fn: Callable[[], object],
                     rng: np.random.Generator | int | None = 0,
                     injector=None,
                     event_log=None,
+                    telemetry=NULL_TELEMETRY,
                     sleep: Callable[[float], None] = time.sleep,
                     ) -> tuple[object, RetryTrace]:
     """Run ``fn`` under ``policy``; return ``(result, trace)``.
@@ -129,6 +131,13 @@ def call_with_retry(fn: Callable[[], object],
         Optional :class:`~repro.resilience.EventLog`; absorbed failures
         are recorded as ``"retry"``/``"deadline"`` events, terminal ones
         as ``"retry-exhausted"``/``"permanent-failure"``.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub. The whole call
+        runs inside a ``retry.call`` span carrying ``site``/``key`` and,
+        on success, ``attempts``/``absorbed``; calls that recovered after
+        absorbing failures additionally emit their :class:`RetryTrace`
+        onto the hub timeline as a ``"retry-trace"`` event. Defaults to
+        the free no-op hub.
     sleep:
         Injectable clock for tests.
 
@@ -145,48 +154,61 @@ def call_with_retry(fn: Callable[[], object],
     delays: list[float] = []
     errors: list[str] = []
     last_error: BaseException | None = None
-    for attempt in range(policy.max_attempts):
-        try:
-            injected = 0.0
-            if injector is not None:
-                injected = injector.check(site, key)
-            if policy.deadline is not None and injected > policy.deadline:
-                raise DeadlineExceededError(
-                    f"{site} stalled for {injected:.3f}s (injected) against "
-                    f"a {policy.deadline:.3f}s deadline")
-            started = time.perf_counter()
-            result = fn()
-            elapsed = time.perf_counter() - started + injected
-            if policy.deadline is not None and elapsed > policy.deadline:
-                raise DeadlineExceededError(
-                    f"{site} took {elapsed:.3f}s against a "
-                    f"{policy.deadline:.3f}s deadline")
-        except Exception as exc:
-            last_error = exc
-            if not is_transient(exc):
+    span = telemetry.span("retry.call", site=site, key=key)
+    with span:
+        for attempt in range(policy.max_attempts):
+            try:
+                injected = 0.0
+                if injector is not None:
+                    injected = injector.check(site, key)
+                if policy.deadline is not None and injected > policy.deadline:
+                    raise DeadlineExceededError(
+                        f"{site} stalled for {injected:.3f}s (injected) "
+                        f"against a {policy.deadline:.3f}s deadline")
+                started = time.perf_counter()
+                result = fn()
+                elapsed = time.perf_counter() - started + injected
+                if policy.deadline is not None and elapsed > policy.deadline:
+                    raise DeadlineExceededError(
+                        f"{site} took {elapsed:.3f}s against a "
+                        f"{policy.deadline:.3f}s deadline")
+            except Exception as exc:
+                last_error = exc
+                if not is_transient(exc):
+                    if event_log is not None:
+                        event_log.record("permanent-failure", site, key=key,
+                                         attempt=attempt + 1, error=exc)
+                    raise
+                errors.append(f"{type(exc).__name__}: {exc}")
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                delay = policy.backoff(attempt, generator)
+                delays.append(delay)
                 if event_log is not None:
-                    event_log.record("permanent-failure", site, key=key,
-                                     attempt=attempt + 1, error=exc)
-                raise
-            errors.append(f"{type(exc).__name__}: {exc}")
-            if attempt + 1 >= policy.max_attempts:
-                break
-            delay = policy.backoff(attempt, generator)
-            delays.append(delay)
-            if event_log is not None:
-                kind = "deadline" \
-                    if isinstance(exc, DeadlineExceededError) else "retry"
-                event_log.record(kind, site, key=key, attempt=attempt + 1,
-                                 error=exc)
-            if delay > 0:
-                sleep(delay)
-            continue
-        return result, RetryTrace(site=site, attempts=attempt + 1,
-                                  delays=tuple(delays),
-                                  errors=tuple(errors), succeeded=True)
-    if event_log is not None:
-        event_log.record("retry-exhausted", site, key=key,
-                         attempt=policy.max_attempts, error=last_error)
-    raise RetryExhaustedError(
-        f"{site} failed {policy.max_attempts} attempt(s); last error: "
-        f"{errors[-1]}") from last_error
+                    kind = "deadline" \
+                        if isinstance(exc, DeadlineExceededError) else "retry"
+                    event_log.record(kind, site, key=key, attempt=attempt + 1,
+                                     error=exc)
+                if delay > 0:
+                    sleep(delay)
+                continue
+            trace = RetryTrace(site=site, attempts=attempt + 1,
+                               delays=tuple(delays),
+                               errors=tuple(errors), succeeded=True)
+            span.set("attempts", trace.attempts)
+            span.set("absorbed", len(trace.errors))
+            if trace.errors:
+                telemetry.event(
+                    "retry-trace", site, key=key, attempt=trace.attempts,
+                    detail=f"recovered after absorbing {len(trace.errors)} "
+                           f"transient failure(s)",
+                    error=trace.errors[-1])
+            return result, trace
+        span.set("attempts", policy.max_attempts)
+        span.set("absorbed", len(errors))
+        if event_log is not None:
+            event_log.record("retry-exhausted", site, key=key,
+                             attempt=policy.max_attempts, error=last_error)
+        raise RetryExhaustedError(
+            f"{site} failed {policy.max_attempts} attempt(s); last error: "
+            f"{errors[-1]}") from last_error

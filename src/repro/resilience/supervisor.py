@@ -35,6 +35,7 @@ from repro.errors import is_transient
 from repro.parallel.executor import Executor
 from repro.resilience.events import EventLog
 from repro.resilience.retry import RetryPolicy
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.rng import ensure_rng
 
 #: Task statuses in a :class:`TaskOutcome`.
@@ -50,6 +51,11 @@ class TaskOutcome:
     ``value`` is the task's return value for ``status="ok"`` and
     ``None`` otherwise; ``attempts`` counts calls actually made (0 for a
     task skipped because its shard was already quarantined).
+    ``queue_wait`` is the seconds the final attempt sat between dispatch
+    and the worker starting it (pool saturation), as distinct from
+    ``elapsed``, the worker-side run time plus injected latency —
+    previously the wait was silently folded away inside the pool and
+    unobservable from outcomes or degradation events.
     """
 
     key: int | str
@@ -57,6 +63,7 @@ class TaskOutcome:
     value: object = None
     attempts: int = 0
     elapsed: float = 0.0
+    queue_wait: float = 0.0
     error: str | None = None
 
     @property
@@ -67,23 +74,28 @@ class TaskOutcome:
 class _CapturedCall:
     """Picklable wrapper running one task and capturing its failure.
 
-    Returns ``(ok, payload, elapsed, transient)`` — exceptions are
-    rendered and classified *inside* the pool worker, so the parent
-    never needs to unpickle exotic exception types.
+    Returns ``(ok, payload, elapsed, transient, started_at)`` —
+    exceptions are rendered and classified *inside* the pool worker, so
+    the parent never needs to unpickle exotic exception types.
+    ``started_at`` is the worker-side ``perf_counter`` reading at task
+    entry; on Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is
+    system-wide and survives ``fork``, so the parent can subtract its
+    own dispatch reading to recover how long the task queued.
     """
 
     def __init__(self, fn: Callable, star: bool) -> None:
         self.fn = fn
         self.star = star
 
-    def __call__(self, item) -> tuple[bool, object, float, bool]:
+    def __call__(self, item) -> tuple[bool, object, float, bool, float]:
         started = time.perf_counter()
         try:
             value = self.fn(*item) if self.star else self.fn(item)
         except Exception as exc:
             return (False, f"{type(exc).__name__}: {exc}",
-                    time.perf_counter() - started, is_transient(exc))
-        return (True, value, time.perf_counter() - started, True)
+                    time.perf_counter() - started, is_transient(exc),
+                    started)
+        return (True, value, time.perf_counter() - started, True, started)
 
 
 class SupervisedExecutor:
@@ -111,6 +123,13 @@ class SupervisedExecutor:
         when omitted; exposed as :attr:`event_log`).
     seed:
         Determinism for backoff jitter draws.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub. Each
+        :meth:`run` executes inside a ``supervisor.run`` span and every
+        completed attempt feeds the ``supervisor.queue_wait_seconds`` /
+        ``supervisor.run_seconds`` histograms. A fresh internal
+        ``event_log`` inherits the hub, so degradations land on the
+        shared timeline too.
 
     Examples
     --------
@@ -127,7 +146,8 @@ class SupervisedExecutor:
                  failure_budget: int = 2,
                  fault_injector=None,
                  event_log: EventLog | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 telemetry=NULL_TELEMETRY) -> None:
         if failure_budget < 1:
             raise ValueError(
                 f"failure_budget must be >= 1, got {failure_budget}")
@@ -142,7 +162,12 @@ class SupervisedExecutor:
         self.retry_policy = policy
         self.failure_budget = int(failure_budget)
         self.fault_injector = fault_injector
-        self.event_log = event_log if event_log is not None else EventLog()
+        self.event_log = event_log if event_log is not None \
+            else EventLog(telemetry=telemetry)
+        self.telemetry = telemetry
+        self._tel_queue_wait = telemetry.histogram(
+            "supervisor.queue_wait_seconds")
+        self._tel_run_time = telemetry.histogram("supervisor.run_seconds")
         self._rng = ensure_rng(seed)
         #: Cumulative failed runs per key (across :meth:`run` calls).
         self.failures: Counter = Counter()
@@ -187,57 +212,81 @@ class SupervisedExecutor:
             else:
                 pending.append(position)
 
-        for attempt in range(policy.max_attempts):
-            if not pending:
-                break
-            if attempt > 0:
-                delay = policy.backoff(attempt - 1, self._rng)
-                if delay > 0:
-                    time.sleep(delay)
-            dispatch: list[int] = []
-            delays: list[float] = []
-            survivors: list[int] = []
-            for position in pending:
-                key = keys[position]
-                injected = 0.0
-                if self.fault_injector is not None:
-                    try:
-                        injected = self.fault_injector.check(site, key)
-                    except Exception as exc:
-                        self._absorb(outcomes, survivors, position, key,
-                                     site, attempt, exc, is_transient(exc))
+        span = self.telemetry.span("supervisor.run", site=site,
+                                   n_items=len(items),
+                                   n_quarantined=len(items) - len(pending))
+        with span:
+            for attempt in range(policy.max_attempts):
+                if not pending:
+                    break
+                if attempt > 0:
+                    delay = policy.backoff(attempt - 1, self._rng)
+                    if delay > 0:
+                        time.sleep(delay)
+                dispatch: list[int] = []
+                delays: list[float] = []
+                survivors: list[int] = []
+                for position in pending:
+                    key = keys[position]
+                    injected = 0.0
+                    if self.fault_injector is not None:
+                        try:
+                            injected = self.fault_injector.check(site, key)
+                        except Exception as exc:
+                            self._absorb(outcomes, survivors, position, key,
+                                         site, attempt, exc,
+                                         is_transient(exc))
+                            continue
+                    if policy.deadline is not None \
+                            and injected > policy.deadline:
+                        self._absorb(
+                            outcomes, survivors, position, key, site,
+                            attempt,
+                            f"DeadlineExceededError: injected "
+                            f"{injected:.3f}s latency > "
+                            f"{policy.deadline:.3f}s deadline",
+                            True, kind="deadline")
                         continue
-                if policy.deadline is not None \
-                        and injected > policy.deadline:
-                    self._absorb(
-                        outcomes, survivors, position, key, site, attempt,
-                        f"DeadlineExceededError: injected {injected:.3f}s "
-                        f"latency > {policy.deadline:.3f}s deadline",
-                        True, kind="deadline")
-                    continue
-                dispatch.append(position)
-                delays.append(injected)
-            results = self.executor.map(
-                call, [items[position] for position in dispatch])
-            for position, injected, (ok, payload, elapsed, transient) \
-                    in zip(dispatch, delays, results):
-                key = keys[position]
-                charged = elapsed + injected
-                if ok and (policy.deadline is None
-                           or charged <= policy.deadline):
-                    outcomes[position] = TaskOutcome(
-                        key=key, status=STATUS_OK, value=payload,
-                        attempts=attempt + 1, elapsed=charged)
-                elif ok:
-                    self._absorb(
-                        outcomes, survivors, position, key, site, attempt,
-                        f"DeadlineExceededError: {charged:.3f}s > "
-                        f"{policy.deadline:.3f}s deadline",
-                        True, kind="deadline")
-                else:
-                    self._absorb(outcomes, survivors, position, key, site,
-                                 attempt, payload, transient)
-            pending = survivors
+                    dispatch.append(position)
+                    delays.append(injected)
+                dispatched = time.perf_counter()
+                results = self.executor.map(
+                    call, [items[position] for position in dispatch])
+                for position, injected, \
+                        (ok, payload, elapsed, transient, started_at) \
+                        in zip(dispatch, delays, results):
+                    key = keys[position]
+                    charged = elapsed + injected
+                    queue_wait = max(0.0, started_at - dispatched)
+                    self._tel_queue_wait.observe(queue_wait)
+                    self._tel_run_time.observe(elapsed)
+                    if ok and (policy.deadline is None
+                               or charged <= policy.deadline):
+                        outcomes[position] = TaskOutcome(
+                            key=key, status=STATUS_OK, value=payload,
+                            attempts=attempt + 1, elapsed=charged,
+                            queue_wait=queue_wait)
+                    elif ok:
+                        self._absorb(
+                            outcomes, survivors, position, key, site,
+                            attempt,
+                            f"DeadlineExceededError: {charged:.3f}s > "
+                            f"{policy.deadline:.3f}s deadline",
+                            True, kind="deadline", queue_wait=queue_wait,
+                            run_time=elapsed)
+                    else:
+                        self._absorb(outcomes, survivors, position, key,
+                                     site, attempt, payload, transient,
+                                     queue_wait=queue_wait,
+                                     run_time=elapsed)
+                pending = survivors
+            if self.telemetry.enabled:
+                statuses = Counter(
+                    outcome.status for outcome in outcomes.values())
+                span.set("n_ok", statuses.get(STATUS_OK, 0))
+                span.set("n_failed", statuses.get(STATUS_FAILED, 0))
+                span.set("n_quarantined",
+                         statuses.get(STATUS_QUARANTINED, 0))
         return [outcomes[position] for position in range(len(items))]
 
     def starmap_run(self, fn: Callable, items: Sequence, *,
@@ -249,23 +298,30 @@ class SupervisedExecutor:
     # ------------------------------------------------------------------
     def _absorb(self, outcomes: dict, survivors: list[int], position: int,
                 key, site: str, attempt: int, error, transient: bool,
-                kind: str | None = None) -> None:
+                kind: str | None = None,
+                queue_wait: float | None = None,
+                run_time: float | None = None) -> None:
         """Handle one failed attempt: requeue it when retry budget remains
         (permanent failures forfeit theirs), else finalize the task as
         failed, charge the key's failure budget, and quarantine on
-        exhaustion."""
+        exhaustion. ``queue_wait``/``run_time`` carry worker-side timing
+        for attempts that actually ran (``None`` for attempts abandoned
+        before dispatch)."""
         rendered = error if isinstance(error, str) \
             else f"{type(error).__name__}: {error}"
         if transient and attempt + 1 < self.retry_policy.max_attempts:
             self.event_log.record(kind or "retry", site, key=key,
-                                  attempt=attempt + 1, error=rendered)
+                                  attempt=attempt + 1, error=rendered,
+                                  queue_wait=queue_wait, run_time=run_time)
             survivors.append(position)
             return
         terminal = "retry-exhausted" if transient else "permanent-failure"
         self.event_log.record(terminal, site, key=key, attempt=attempt + 1,
-                              error=rendered)
+                              error=rendered, queue_wait=queue_wait,
+                              run_time=run_time)
         outcomes[position] = TaskOutcome(
             key=key, status=STATUS_FAILED, attempts=attempt + 1,
+            queue_wait=queue_wait or 0.0, elapsed=run_time or 0.0,
             error=rendered)
         self.failures[key] += 1
         if self.failures[key] >= self.failure_budget \

@@ -78,6 +78,7 @@ from repro.state import MemorySessionStore
 from repro.state import store as state_events
 from repro.streaming.session import ValidationSession
 from repro.streaming.sharded import ShardedRefresher
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.rng import spawn_rngs
 from repro.workers.spammer_detection import (
     SpammerDetector,
@@ -270,6 +271,15 @@ class ScenarioRunner:
         reproduces the mask — crash/resume asserts the restored mask is
         bit-equal to the recorded union. ``None`` (default) leaves every
         path exactly as it was before quality targets existed.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub. Each execution
+        path instruments into its own ``spawn`` scope (``batch``,
+        ``streaming``, ``sharded``, ``resume``, ``faults``), so one
+        conformance run yields five labelled sub-streams in a single
+        manifest; :meth:`run` itself is a ``scenario.run`` span.
+        Instrumentation observes and never perturbs — posteriors are
+        bit-identical with the hub on or off (pinned by the telemetry
+        test suite).
     """
 
     def __init__(self,
@@ -284,7 +294,8 @@ class ScenarioRunner:
                  n_kills: int = 2,
                  checkpoint_every: int = 3,
                  seed: int = 0,
-                 quality_target=None) -> None:
+                 quality_target=None,
+                 telemetry=NULL_TELEMETRY) -> None:
         if n_kills < 0:
             raise ValueError(f"n_kills must be >= 0, got {n_kills}")
         if checkpoint_every < 1:
@@ -301,6 +312,7 @@ class ScenarioRunner:
         self.checkpoint_every = int(checkpoint_every)
         self.seed = int(seed)
         self.quality_target = quality_target
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def _strategy(self, lookahead: str) -> GuidanceStrategy:
@@ -326,6 +338,7 @@ class ScenarioRunner:
             handle_faulty=self.handle_faulty,
             gold=scenario.gold,
             rng=rng,
+            telemetry=self.telemetry.spawn("batch"),
             **kwargs,
         )
         steps: list[RecordedStep] = []
@@ -349,7 +362,9 @@ class ScenarioRunner:
                          steps: list[RecordedStep],
                          template: ValidationSession) -> np.ndarray:
         """Path 2: exact warm-started session replay of the recorded run."""
-        session = self._fresh_session(scenario, template)
+        session = self._fresh_session(scenario, template,
+                                      telemetry=self.telemetry.spawn(
+                                          "streaming"))
         session.conclude()
         for step in steps:
             session.add_validation(step.object_index, step.expert_label,
@@ -364,11 +379,13 @@ class ScenarioRunner:
                        steps: list[RecordedStep],
                        template: ValidationSession) -> np.ndarray:
         """Path 3: the same replay, refined via partition-scoped refresh."""
-        session = self._fresh_session(scenario, template)
+        scope = self.telemetry.spawn("sharded")
+        session = self._fresh_session(scenario, template, telemetry=scope)
         block = self.max_objects_per_block \
             if self.max_objects_per_block is not None \
             else scenario.n_objects
-        refresher = ShardedRefresher(max_objects_per_block=block)
+        refresher = ShardedRefresher(max_objects_per_block=block,
+                                     telemetry=scope)
         refresher.refresh(session)
         for step in steps:
             session.add_validation(step.object_index, step.expert_label,
@@ -411,7 +428,8 @@ class ScenarioRunner:
                                 replace=False)
             kill_before = {int(b) for b in chosen}
 
-        session = self._fresh_session(scenario, template)
+        scope = self.telemetry.spawn("resume")
+        session = self._fresh_session(scenario, template, telemetry=scope)
         store.append(state_events.conclude_event())
         session.conclude()
         store.checkpoint(session, meta={"step": -1})
@@ -422,6 +440,9 @@ class ScenarioRunner:
                 del session  # the "crash": all live state is gone
                 restored = store.restore()
                 session = restored.session
+                # Checkpoints never carry a hub; the resumed session picks
+                # the instrumentation back up here.
+                session.attach_telemetry(scope)
                 index = 0 if restored.step is None else restored.step + 1
                 continue
             step = steps[index]
@@ -493,14 +514,15 @@ class ScenarioRunner:
         """
         plan = plan if plan is not None else transient_chaos_plan(self.seed)
         injector = FaultInjector(plan)
-        event_log = EventLog()
+        scope = self.telemetry.spawn("faults")
+        event_log = EventLog(telemetry=scope)
         policy = retry_policy or RetryPolicy(max_attempts=3)
         if sharded_blocks is not None:
             posteriors = self._replay_faults_sharded(
                 scenario, steps, template, injector=injector,
                 event_log=event_log, policy=policy,
                 sharded_blocks=sharded_blocks,
-                failure_budget=failure_budget)
+                failure_budget=failure_budget, telemetry=scope)
             return FaultReplay(posteriors=posteriors, event_log=event_log,
                                injector=injector)
 
@@ -518,12 +540,14 @@ class ScenarioRunner:
             store.append(state_events.conclude_event())
             call_with_retry(session.conclude, policy,
                             site="session.conclude", rng=guard_rng,
-                            injector=injector, event_log=event_log)
+                            injector=injector, event_log=event_log,
+                            telemetry=scope)
 
         def checkpoint(meta: dict) -> None:
             call_with_retry(lambda: store.checkpoint(session, meta=meta),
                             policy, site="store.checkpoint", rng=guard_rng,
-                            injector=injector, event_log=event_log)
+                            injector=injector, event_log=event_log,
+                            telemetry=scope)
 
         n_steps = len(steps)
         kill_before: set[int] = set()
@@ -536,7 +560,7 @@ class ScenarioRunner:
                                      replace=False)
             kill_before = {int(b) for b in chosen}
 
-        session = self._fresh_session(scenario, template)
+        session = self._fresh_session(scenario, template, telemetry=scope)
         conclude()
         checkpoint({"step": -1})
         index = 0
@@ -546,6 +570,7 @@ class ScenarioRunner:
                 del session
                 restored = store.restore(event_log=event_log)
                 session = restored.session
+                session.attach_telemetry(scope)
                 index = 0 if restored.step is None else restored.step + 1
                 continue
             step = steps[index]
@@ -577,13 +602,17 @@ class ScenarioRunner:
                                event_log: EventLog,
                                policy: RetryPolicy,
                                sharded_blocks: int,
-                               failure_budget: int) -> np.ndarray:
+                               failure_budget: int,
+                               telemetry=NULL_TELEMETRY) -> np.ndarray:
         supervisor = SupervisedExecutor(
             retry_policy=policy, failure_budget=failure_budget,
-            fault_injector=injector, event_log=event_log, seed=self.seed)
+            fault_injector=injector, event_log=event_log, seed=self.seed,
+            telemetry=telemetry)
         refresher = ShardedRefresher(max_objects_per_block=sharded_blocks,
-                                     supervisor=supervisor)
-        session = self._fresh_session(scenario, template)
+                                     supervisor=supervisor,
+                                     telemetry=telemetry)
+        session = self._fresh_session(scenario, template,
+                                      telemetry=telemetry)
         refresher.refresh(session)
         for step in steps:
             session.add_validation(step.object_index, step.expert_label,
@@ -595,7 +624,8 @@ class ScenarioRunner:
 
     @staticmethod
     def _fresh_session(scenario: CompiledScenario,
-                       template: ValidationSession) -> ValidationSession:
+                       template: ValidationSession,
+                       telemetry=NULL_TELEMETRY) -> ValidationSession:
         """A new session over the scenario with the batch path's knobs."""
         return ValidationSession.from_answer_set(
             scenario.answer_set,
@@ -604,6 +634,7 @@ class ScenarioRunner:
             tol=template.tol,
             smoothing=template.smoothing,
             use_plan=template.use_plan,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -616,14 +647,21 @@ class ScenarioRunner:
         returns the outcome for inspection regardless.
         """
         started = time.perf_counter()
-        process, steps = self.run_batch(scenario, lookahead)
-        batch_posteriors = np.array(process.prob_set.assignment)
+        span = self.telemetry.span("scenario.run",
+                                   scenario=scenario.spec.name,
+                                   lookahead=lookahead)
+        with span:
+            process, steps = self.run_batch(scenario, lookahead)
+            batch_posteriors = np.array(process.prob_set.assignment)
 
-        streaming = self.replay_streaming(scenario, steps, process.session)
-        sharded = self.replay_sharded(scenario, steps, process.session)
-        resumed = self.replay_crash_resume(scenario, steps, process.session)
-        fault_replay = self.replay_under_faults(scenario, steps,
-                                                process.session)
+            streaming = self.replay_streaming(scenario, steps,
+                                              process.session)
+            sharded = self.replay_sharded(scenario, steps, process.session)
+            resumed = self.replay_crash_resume(scenario, steps,
+                                               process.session)
+            fault_replay = self.replay_under_faults(scenario, steps,
+                                                    process.session)
+            span.set("n_steps", len(steps))
         streaming_divergence = _divergence(batch_posteriors, streaming)
         sharded_divergence = _divergence(batch_posteriors, sharded)
         resume_divergence = _divergence(streaming, resumed)

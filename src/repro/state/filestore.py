@@ -50,6 +50,7 @@ from repro.errors import (CheckpointCorruptionError,
 from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.state.snapshot import STATE_SCHEMA_VERSION, SessionState
 from repro.state.store import CheckpointInfo, SessionStore
+from repro.telemetry import NULL_TELEMETRY
 
 _CKPT_PREFIX = "ckpt-"
 _MANIFEST = "manifest.json"
@@ -77,18 +78,26 @@ class FileSessionStore(SessionStore):
     commit (simulating a torn checkpoint), and
     ``"filestore.segment-read"`` fires during restore assembly
     (simulating a corrupt segment). ``event_log`` receives the retry /
-    degradation events.
+    degradation events. ``telemetry`` (a
+    :class:`repro.telemetry.Telemetry` hub or spawn scope) times every
+    checkpoint write (``store.checkpoint_write`` span +
+    ``store.checkpoint_write_seconds`` histogram) and state load
+    (``store.restore_load`` span + ``store.restore_seconds``); the
+    on-disk bytes are identical with telemetry on or off.
     """
 
     def __init__(self, root: str | os.PathLike, *,
                  fault_injector=None,
                  retry_policy: RetryPolicy | None = None,
-                 event_log=None) -> None:
+                 event_log=None,
+                 telemetry=NULL_TELEMETRY) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy(max_attempts=1)
         self.event_log = event_log
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self._wal_path = self.root / _WAL
         self._wal_count = len(self._read_wal())
 
@@ -148,14 +157,23 @@ class FileSessionStore(SessionStore):
         # rewrites — hence exist_ok below, and why retrying is safe. With
         # no retries configured the wrapper is skipped so a failure keeps
         # its original type instead of surfacing as RetryExhaustedError.
-        if self.retry_policy.max_attempts == 1 and self.event_log is None:
-            return self._write_checkpoint(directory, checkpoint_id, state,
-                                          meta, partition)
-        info, _trace = call_with_retry(
-            lambda: self._write_checkpoint(directory, checkpoint_id, state,
-                                           meta, partition),
-            self.retry_policy, site="filestore.checkpoint-write",
-            key=checkpoint_id, event_log=self.event_log)
+        span = self.telemetry.span("store.checkpoint_write",
+                                   checkpoint_id=checkpoint_id,
+                                   n_answers=state.n_answers)
+        with span:
+            if self.retry_policy.max_attempts == 1 \
+                    and self.event_log is None:
+                info = self._write_checkpoint(directory, checkpoint_id,
+                                              state, meta, partition)
+            else:
+                info, _trace = call_with_retry(
+                    lambda: self._write_checkpoint(
+                        directory, checkpoint_id, state, meta, partition),
+                    self.retry_policy, site="filestore.checkpoint-write",
+                    key=checkpoint_id, event_log=self.event_log,
+                    telemetry=self.telemetry)
+        self.telemetry.histogram(
+            "store.checkpoint_write_seconds").observe(span.duration)
         return info
 
     def _write_checkpoint(self, directory: Path, checkpoint_id: int,
@@ -292,14 +310,20 @@ class FileSessionStore(SessionStore):
         return infos
 
     def load_state(self, checkpoint_id: int | None = None) -> SessionState:
-        directory = self._resolve_checkpoint_dir(checkpoint_id)
-        manifest = self._load_manifest(directory / _MANIFEST)
-        if manifest.get("schema_version") != STATE_SCHEMA_VERSION:
-            raise CheckpointSchemaError(
-                f"checkpoint {directory.name} has schema version "
-                f"{manifest.get('schema_version')!r}; this build reads "
-                f"version {STATE_SCHEMA_VERSION}")
-        return self._assemble(directory, manifest)
+        span = self.telemetry.span("store.restore_load",
+                                   checkpoint_id=checkpoint_id)
+        with span:
+            directory = self._resolve_checkpoint_dir(checkpoint_id)
+            manifest = self._load_manifest(directory / _MANIFEST)
+            if manifest.get("schema_version") != STATE_SCHEMA_VERSION:
+                raise CheckpointSchemaError(
+                    f"checkpoint {directory.name} has schema version "
+                    f"{manifest.get('schema_version')!r}; this build reads "
+                    f"version {STATE_SCHEMA_VERSION}")
+            state = self._assemble(directory, manifest)
+        self.telemetry.histogram(
+            "store.restore_seconds").observe(span.duration)
+        return state
 
     # ------------------------------------------------------------------
     def _assemble(self, directory: Path, manifest: dict) -> SessionState:

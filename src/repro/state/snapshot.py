@@ -173,8 +173,15 @@ def capture_session(session) -> SessionState:
     )
 
 
-def restore_session(state: SessionState) -> "ValidationSession":
+def restore_session(state: SessionState,
+                    telemetry=None) -> "ValidationSession":
     """Rebuild a live session from a snapshot, bit-for-bit.
+
+    ``telemetry`` optionally re-attaches an instrumentation hub to the
+    restored session. Snapshots never carry telemetry state (it is
+    execution machinery, like ``parallel_m_step``), and the hub is
+    attached only *after* the state replay below, so rebuilding a
+    session never replays ingestion counters into the hub.
 
     Aggregates are re-derived rather than deserialized: the answer log is
     bulk-replayed (vote counts and per-worker counts are exact integer
@@ -216,4 +223,6 @@ def restore_session(state: SessionState) -> "ValidationSession":
     session.n_concludes = state.n_concludes
     session.total_em_iterations = state.total_em_iterations
     session.n_conflicts = state.n_conflicts
+    if telemetry is not None:
+        session.attach_telemetry(telemetry)
     return session

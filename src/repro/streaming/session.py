@@ -37,6 +37,7 @@ from repro.core.confusion import PROB_FLOOR
 from repro.core.probabilistic import ProbabilisticAnswerSet
 from repro.core.validation import ExpertValidation
 from repro.errors import InvalidValidationError, StreamingError
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.rng import ensure_rng
 
 
@@ -85,6 +86,14 @@ class ValidationSession:
         same stream sees.
     rng:
         Randomness for the ``"random"`` cold start.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hub (or spawn
+        scope). Each ``conclude`` emits a ``session.conclude`` span and
+        feeds the ``session.conclude_seconds`` histogram; ingestion
+        bumps per-event counters only (no per-answer spans — the ingest
+        path stays flat). Never captured by checkpoints; re-attach
+        after a restore with :meth:`attach_telemetry`. Defaults to the
+        free :data:`repro.telemetry.NULL_TELEMETRY`.
 
     Examples
     --------
@@ -116,7 +125,8 @@ class ValidationSession:
                  use_plan: bool = True,
                  parallel_m_step=None,
                  on_conflict: str = "error",
-                 rng: np.random.Generator | int | None = None) -> None:
+                 rng: np.random.Generator | int | None = None,
+                 telemetry=NULL_TELEMETRY) -> None:
         if init not in ("majority", "random", "uniform"):
             raise ValueError(f"unknown init policy {init!r}")
         if on_conflict not in ("error", "ignore"):
@@ -169,6 +179,28 @@ class ValidationSession:
         self.total_em_iterations = 0
         #: Conflicting resubmissions dropped under ``on_conflict="ignore"``.
         self.n_conflicts = 0
+
+        self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach (or replace) the telemetry hub and resolve instruments.
+
+        Instruments are resolved once here so the per-event hot paths pay
+        only an attribute lookup plus a no-op call when telemetry is
+        disabled. Telemetry is execution machinery, never state: it is
+        excluded from :meth:`capture_state` snapshots, and a restored
+        session comes back with :data:`~repro.telemetry.NULL_TELEMETRY`
+        until a hub is re-attached here (or via
+        ``restore_session(..., telemetry=...)``).
+        """
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        self._tel_conclude_s = self.telemetry.histogram(
+            "session.conclude_seconds")
+        self._tel_answers = self.telemetry.counter("session.answers")
+        self._tel_validations = self.telemetry.counter("session.validations")
+        self._tel_conflicts = self.telemetry.gauge("session.n_conflicts")
+        self._tel_concluded = self.telemetry.gauge("session.n_concluded")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -360,6 +392,7 @@ class ValidationSession:
             current = self._stats.label_of(obj, worker)
             if current != MISSING and current != label:
                 self.n_conflicts += 1
+                self._tel_conflicts.set(self.n_conflicts)
                 return False
         # Heal any direct-view validation drift for this object *before*
         # the answer log changes, so the delta below is never re-counted.
@@ -369,6 +402,7 @@ class ValidationSession:
         added = self._stats.add_answer(obj, worker, label)
         if not added:
             return False
+        self._tel_answers.inc()
         self._dirty.add(obj)
         asserted = self._validation.label_of(obj)
         if asserted != MISSING:
@@ -403,6 +437,7 @@ class ValidationSession:
         self._heal_vconf()
         previous = self._validation.label_of(obj)
         self._validation.assign(obj, label, overwrite=overwrite)
+        self._tel_validations.inc()
         if previous == label:
             return
         workers, answered = self._stats.answers_of_object(obj)
@@ -446,6 +481,8 @@ class ValidationSession:
         if bool(self._concluded[obj]) == target:
             return False
         self._concluded[obj] = target
+        if self.telemetry.enabled:
+            self._tel_concluded.set(self.n_concluded)
         return True
 
     def set_masked_workers(self, workers: Iterable[int]) -> frozenset[int]:
@@ -474,26 +511,39 @@ class ValidationSession:
         equal to ``IncrementalEM.conclude`` on the equivalent batch answer
         set with the same warm-start state.
         """
-        encoded = self._stats.encoded()
-        plan = em_kernel.kernel_plan(encoded) if self.use_plan else None
-        validated = self._validation.validated_indices()
-        labels = self._validation.validated_labels()
-        if self._model is not None \
-                and self._model_dims == (self.n_objects, self.n_workers):
-            initial = em_kernel.e_step(encoded, self._model.confusions,
-                                       self._model.priors, plan=plan)
-        elif self.init == "majority":
-            initial = self._stats.majority_assignment()
-        elif self.init == "random":
-            initial = em_kernel.initial_assignment_random(encoded, self.rng)
-        else:
-            initial = em_kernel.initial_assignment_uniform(encoded)
-        result = em_kernel.run_em(
-            encoded, initial, validated, labels,
-            max_iter=self.max_iter, tol=self.tol, smoothing=self.smoothing,
-            plan=plan, use_plan=self.use_plan,
-            parallel_m_step=self.parallel_m_step)
-        self._install(result)
+        warm = self._model is not None \
+            and self._model_dims == (self.n_objects, self.n_workers)
+        span = self.telemetry.span(
+            "session.conclude", warm=warm, n_objects=self.n_objects,
+            n_answers=self.n_answers, n_dirty=len(self._dirty))
+        with span:
+            encoded = self._stats.encoded()
+            plan = em_kernel.kernel_plan(encoded) if self.use_plan else None
+            validated = self._validation.validated_indices()
+            labels = self._validation.validated_labels()
+            if warm:
+                initial = em_kernel.e_step(encoded, self._model.confusions,
+                                           self._model.priors, plan=plan)
+            elif self.init == "majority":
+                initial = self._stats.majority_assignment()
+            elif self.init == "random":
+                initial = em_kernel.initial_assignment_random(
+                    encoded, self.rng)
+            else:
+                initial = em_kernel.initial_assignment_uniform(encoded)
+            result = em_kernel.run_em(
+                encoded, initial, validated, labels,
+                max_iter=self.max_iter, tol=self.tol,
+                smoothing=self.smoothing,
+                plan=plan, use_plan=self.use_plan,
+                parallel_m_step=self.parallel_m_step,
+                telemetry=self.telemetry)
+            self._install(result)
+            span.set("em_iterations", result.n_iterations)
+        self._tel_conclude_s.observe(span.duration)
+        if self.telemetry.enabled:
+            self._tel_conflicts.set(self.n_conflicts)
+            self._tel_concluded.set(self.n_concluded)
         return result
 
     def install_model(self,
@@ -621,11 +671,17 @@ class ValidationSession:
         return capture_session(self)
 
     @classmethod
-    def restore_state(cls, state: "SessionState") -> "ValidationSession":
-        """Rebuild a session from a :meth:`capture_state` snapshot."""
+    def restore_state(cls, state: "SessionState",
+                      telemetry=None) -> "ValidationSession":
+        """Rebuild a session from a :meth:`capture_state` snapshot.
+
+        ``telemetry`` re-attaches a hub to the restored session
+        (checkpoints never carry one); omitted, the session restores
+        uninstrumented.
+        """
         from repro.state.snapshot import restore_session
 
-        return restore_session(state)
+        return restore_session(state, telemetry=telemetry)
 
     # ------------------------------------------------------------------
     def _heal_object(self, obj: int) -> None:

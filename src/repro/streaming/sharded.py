@@ -31,6 +31,7 @@ from repro.core.answer_set import MISSING
 from repro.parallel.executor import Executor
 from repro.partitioning.partitioner import MatrixPartitioner, Partition
 from repro.streaming.session import ValidationSession
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,13 @@ class ShardedRefresher:
         records a ``"fallback-exact"`` degradation event, and reports
         ``fallback="exact"``. ``executor`` is ignored in that case; the
         supervisor's own backend runs the solves.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub. Each refresh
+        runs inside a ``shard.refresh`` span (block counts, warm/cold,
+        fallback, and — for supervised runs — the worst per-block queue
+        wait and run time from the :class:`TaskOutcome`\\ s), and every
+        refreshed block tallies its EM iterations on a per-shard
+        ``spawn`` scope (``shard<i>/em.iterations``).
 
     Examples
     --------
@@ -119,11 +127,13 @@ class ShardedRefresher:
     def __init__(self, max_objects_per_block: int = 64,
                  executor: Executor | None = None,
                  seed: int = 0,
-                 supervisor=None) -> None:
+                 supervisor=None,
+                 telemetry=NULL_TELEMETRY) -> None:
         self.max_objects_per_block = int(max_objects_per_block)
         self.executor = executor or Executor("serial")
         self.seed = int(seed)
         self.supervisor = supervisor
+        self.telemetry = telemetry
         self._partition: Partition | None = None
         self._partition_version: int | None = None
 
@@ -175,49 +185,66 @@ class ShardedRefresher:
             dirty_blocks = [
                 index for index, block in enumerate(partition.blocks)
                 if any(int(obj) in dirty for obj in block.object_indices)]
-        encoded = session.stats.encoded()
-        # One CSR view per encoding epoch, shared with the guidance
-        # look-aheads and the session's own read paths (memoized on the
-        # encoding, so whoever asks first pays the build).
-        object_starts = em_kernel.csr_view(encoded).object_starts
-        validated = session.validation.as_array()
+        span = self.telemetry.span(
+            "shard.refresh", n_blocks=partition.n_blocks,
+            n_dirty=len(dirty_blocks), warm=warm,
+            supervised=self.supervisor is not None)
+        with span:
+            encoded = session.stats.encoded()
+            # One CSR view per encoding epoch, shared with the guidance
+            # look-aheads and the session's own read paths (memoized on the
+            # encoding, so whoever asks first pays the build).
+            object_starts = em_kernel.csr_view(encoded).object_starts
+            validated = session.validation.as_array()
 
-        if warm:
-            assignment = np.array(session.model.assignment, copy=True)
-        else:
-            assignment = session.stats.majority_assignment()
-            em_kernel.clamp_validated(
-                assignment, np.flatnonzero(validated != MISSING),
-                validated[validated != MISSING])
+            if warm:
+                assignment = np.array(session.model.assignment, copy=True)
+            else:
+                assignment = session.stats.majority_assignment()
+                em_kernel.clamp_validated(
+                    assignment, np.flatnonzero(validated != MISSING),
+                    validated[validated != MISSING])
 
-        payloads = [
-            self._block_payload(session, partition, index, encoded,
-                                validated, warm, object_starts)
-            for index in dirty_blocks]
-        if self.supervisor is not None:
-            outcomes = self.supervisor.run(_refine_block, payloads,
-                                           keys=dirty_blocks,
-                                           site="shard.refresh", star=True)
-            bad = [outcome for outcome in outcomes if not outcome.ok]
-            if bad:
-                return self._fallback_exact(session, partition, bad)
-            results = [outcome.value for outcome in outcomes]
-        else:
-            results = self.executor.starmap(_refine_block, payloads)
+            payloads = [
+                self._block_payload(session, partition, index, encoded,
+                                    validated, warm, object_starts)
+                for index in dirty_blocks]
+            if self.supervisor is not None:
+                outcomes = self.supervisor.run(_refine_block, payloads,
+                                               keys=dirty_blocks,
+                                               site="shard.refresh",
+                                               star=True)
+                if self.telemetry.enabled and outcomes:
+                    span.set("max_queue_wait", max(
+                        outcome.queue_wait for outcome in outcomes))
+                    span.set("max_run_time", max(
+                        outcome.elapsed for outcome in outcomes))
+                bad = [outcome for outcome in outcomes if not outcome.ok]
+                if bad:
+                    span.set("fallback", "exact")
+                    return self._fallback_exact(session, partition, bad)
+                results = [outcome.value for outcome in outcomes]
+            else:
+                results = self.executor.starmap(_refine_block, payloads)
 
-        iterations: list[int] = []
-        for block_index, (block_assignment, n_iter, _converged) \
-                in zip(dirty_blocks, results):
-            block = partition.blocks[block_index]
-            assignment[block.object_indices, :] = block_assignment
-            iterations.append(int(n_iter))
+            iterations: list[int] = []
+            for block_index, (block_assignment, n_iter, _converged) \
+                    in zip(dirty_blocks, results):
+                block = partition.blocks[block_index]
+                assignment[block.object_indices, :] = block_assignment
+                iterations.append(int(n_iter))
+                if self.telemetry.enabled:
+                    self.telemetry.spawn(f"shard{block_index}") \
+                        .counter("em.iterations").inc(int(n_iter))
 
-        confusions = em_kernel.m_step(encoded, assignment, session.smoothing,
-                                      plan=em_kernel.kernel_plan(encoded))
-        priors = em_kernel.estimate_priors(assignment)
-        session.install_model(assignment, confusions, priors,
-                              n_iterations=max(iterations, default=0),
-                              converged=True)
+            confusions = em_kernel.m_step(encoded, assignment,
+                                          session.smoothing,
+                                          plan=em_kernel.kernel_plan(encoded))
+            priors = em_kernel.estimate_priors(assignment)
+            session.install_model(assignment, confusions, priors,
+                                  n_iterations=max(iterations, default=0),
+                                  converged=True)
+            span.set("em_iterations", int(sum(iterations)))
         return RefreshReport(n_blocks=partition.n_blocks,
                              refreshed_blocks=tuple(dirty_blocks),
                              em_iterations=tuple(iterations))

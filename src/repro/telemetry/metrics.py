@@ -1,0 +1,159 @@
+"""Metrics primitives: counters, gauges, and explicit-bucket histograms.
+
+The registry is deliberately minimal — plain Python objects mutated by
+attribute access, no label cardinality, no background aggregation — so
+the cost of an *enabled* metric update is one method call and the cost
+of a *disabled* one (via :class:`repro.telemetry.NullTelemetry`) is a
+no-op call on a shared singleton. All bucket edges are explicit and
+deterministic: two runs that observe the same values produce identical
+``counts`` arrays regardless of host, locale, or insertion order of
+other metrics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default latency bucket edges in seconds: a fixed 1-2.5-5 geometric
+#: ladder from 1µs to 10s. Explicit (never derived from observed data)
+#: so histograms are reproducible across runs and mergeable across
+#: shards. An observation lands in the first bucket whose edge is
+#: >= the value ("le" semantics); values above the last edge land in
+#: the overflow bucket.
+DEFAULT_LATENCY_EDGES = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """An explicit-bucket histogram with "le" (≤ edge) semantics.
+
+    ``counts`` has ``len(edges) + 1`` entries: one per edge plus an
+    overflow bucket for observations above the last edge.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "sum")
+
+    def __init__(self, name: str,
+                 edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one "
+                             "bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"histogram {name!r} edges must be strictly "
+                             f"increasing, got {edges}")
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def to_dict(self) -> dict:
+        return {"type": "histogram", "name": self.name,
+                "edges": list(self.edges), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum}
+
+
+class MetricsRegistry:
+    """Get-or-create store for named metrics.
+
+    A name permanently identifies one instrument: asking for an existing
+    name with a conflicting type (or conflicting histogram edges) is a
+    programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, factory):
+        existing = self._metrics.get(name)
+        if existing is None:
+            existing = self._metrics[name] = factory()
+        elif type(existing) is not cls:
+            raise TypeError(
+                f"metric {name!r} is already registered as "
+                f"{type(existing).__name__}, not {cls.__name__}")
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  edges: tuple[float, ...] | None = None) -> Histogram:
+        hist = self._get(name, Histogram,
+                         lambda: Histogram(name, edges or
+                                           DEFAULT_LATENCY_EDGES))
+        if edges is not None and hist.edges != tuple(float(e)
+                                                     for e in edges):
+            raise ValueError(f"histogram {name!r} already registered with "
+                             f"edges {hist.edges}, asked for {tuple(edges)}")
+        return hist
+
+    def snapshot(self) -> dict:
+        """All metrics as a name-sorted JSON-ready mapping."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {},
+                                "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            record = metric.to_dict()
+            kind = record.pop("type") + "s"
+            record.pop("name")
+            out[kind][name] = record if kind == "histograms" \
+                else record["value"]
+        return out
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -25,6 +25,7 @@ the CI chaos job can upload what actually fired as a build artifact.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from functools import lru_cache
 from pathlib import Path
 
@@ -35,6 +36,7 @@ from repro.resilience import (FaultInjector, FaultPlan, FaultSpec,
                               RetryPolicy, transient_chaos_plan)
 from repro.scenarios import ScenarioRunner, compile_registered, scenario_names
 from repro.state import FileSessionStore
+from repro.telemetry import Telemetry
 
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "CHAOS_events.json"
 
@@ -168,3 +170,49 @@ def test_quarantine_event_carries_the_failing_key():
     assert len(quarantines) == 1
     assert quarantines[0].key == 1
     assert quarantines[0].site == "shard.refresh"
+
+
+# ----------------------------------------------------------------------
+# The chaos artifact and the telemetry timeline are the same story
+# ----------------------------------------------------------------------
+def test_event_log_telemetry_parity():
+    """Every ``EventLog`` record reappears on the hub timeline, in order.
+
+    With a telemetry hub attached, ``EventLog.record`` forwards each
+    degradation into the hub's timeline and a ``resilience.<kind>``
+    counter. The chaos artifact (this log) and the telemetry trace must
+    therefore tell one story: same events, same fields, same order —
+    the timeline only adds hub-exclusive ``retry-trace`` markers that
+    ``call_with_retry`` emits after a recovered call.
+    """
+    name = "reliability-drift"
+    scenario = compile_registered(name)
+    hub = Telemetry()
+    runner = ScenarioRunner(seed=5, telemetry=hub)
+    process, steps = runner.run_batch(scenario)
+    replay = runner.replay_under_faults(scenario, steps, process.session)
+    assert replay.n_degradations >= 1, \
+        "parity is vacuous unless the chaos schedule recorded something"
+
+    mirrored = [entry for entry in hub.events
+                if entry.kind != "retry-trace"]
+    assert len(mirrored) == len(replay.event_log), \
+        (f"{len(replay.event_log)} logged degradations vs "
+         f"{len(mirrored)} forwarded timeline events")
+    for logged, forwarded in zip(replay.event_log, mirrored):
+        assert (forwarded.kind, forwarded.site, forwarded.key,
+                forwarded.attempt, forwarded.detail, forwarded.error) \
+            == (logged.kind, logged.site, logged.key, logged.attempt,
+                logged.detail, logged.error)
+        assert forwarded.scope == "faults", \
+            "replay degradations must land in the runner's faults scope"
+
+    # The per-kind counters agree with the log's tallies.
+    for kind, expected in Counter(e.kind for e in replay.event_log).items():
+        counted = hub.registry.counter(f"faults/resilience.{kind}").value
+        assert counted == expected, \
+            f"resilience.{kind}: counter {counted} vs log {expected}"
+
+    _deposit("telemetry-parity", name, replay,
+             {"n_timeline_events": len(hub.events),
+              "n_forwarded": len(mirrored)})

@@ -42,6 +42,14 @@ def test_streaming_validation_replays_a_stream():
     assert "(expert)" in out
 
 
+def test_telemetry_tour_reports_bit_identity():
+    out = run_example("telemetry_tour.py")
+    assert "bit-identical" in out
+    assert "run manifest" in out
+    assert "tour/resilience.retry" in out
+    assert "L-inf(posteriors, instrumented vs null hub) = 0.0e+00" in out
+
+
 def test_adversarial_scenarios_conform():
     out = run_example("adversarial_scenarios.py")
     assert "adversarial scenarios" in out
@@ -58,6 +66,7 @@ def test_adversarial_scenarios_conform():
     "interactive_validation.py",
     "streaming_validation.py",
     "adversarial_scenarios.py",
+    "telemetry_tour.py",
 ])
 def test_examples_compile(name):
     source = (EXAMPLES / name).read_text()

@@ -24,6 +24,7 @@ class TestRegistry:
             "fig07", "fig08", "fig09", "fig10", "fig11", "tab06", "fig12",
             "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
             "fig20", "fig21", "fig22", "fig23", "appe", "scen", "qtarget",
+            "telemetry",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
